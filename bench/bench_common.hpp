@@ -1,0 +1,89 @@
+// Shared plumbing for the table/figure benches: corpus construction at the
+// configured scale, scaled device specs, precision conversion, and the
+// speedup/crossover arithmetic of section V.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/factory.hpp"
+#include "graph/corpus.hpp"
+
+namespace acsr::bench {
+
+struct BenchContext {
+  long long scale = 64;
+  vgpu::DeviceSpec spec;                 // already corpus-scaled
+  std::vector<graph::CorpusEntry> matrices;
+  core::EngineConfig engine_cfg;
+
+  static BenchContext from_cli(const Cli& cli,
+                               const std::string& default_device = "titan") {
+    BenchContext ctx;
+    ctx.scale = cli.get_int("scale", graph::default_scale());
+    ctx.spec = vgpu::DeviceSpec::by_name(cli.get_or("device", default_device))
+                   .scaled_for_corpus(ctx.scale);
+    // Scale CUSP's HYB break-even population with the corpus.
+    ctx.engine_cfg.hyb_breakeven = static_cast<mat::index_t>(
+        std::max<long long>(1, 4096 / ctx.scale));
+    if (auto names = cli.get("matrices")) {
+      std::string rest = *names;
+      while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        ctx.matrices.push_back(
+            graph::corpus_entry(rest.substr(0, comma)));
+        if (comma == std::string::npos) break;
+        rest.erase(0, comma + 1);
+      }
+    } else {
+      ctx.matrices = graph::table1_corpus();
+    }
+    return ctx;
+  }
+
+  template <class T>
+  mat::Csr<T> build(const graph::CorpusEntry& e) const {
+    const mat::Csr<double> m = graph::build_matrix(e, scale);
+    if constexpr (std::is_same_v<T, double>) {
+      return m;
+    } else {
+      mat::Csr<T> f;
+      f.rows = m.rows;
+      f.cols = m.cols;
+      f.row_off = m.row_off;
+      f.col_idx = m.col_idx;
+      f.vals.assign(m.vals.begin(), m.vals.end());
+      return f;
+    }
+  }
+
+  void print_header(const std::string& what) const {
+    std::cout << "=== " << what << " ===\n"
+              << "device " << spec.name << ", corpus scale 1/" << scale
+              << " (ACSR_SCALE), " << matrices.size() << " matrices\n\n";
+  }
+};
+
+/// Crossover iteration count of Eq. 4: the n at which format A's lower
+/// per-SpMV time amortises its preprocessing against ACSR. Returns
+/// nullopt for "infinity" (ACSR wins at any n).
+inline std::optional<double> crossover_iterations(double pre_a, double spmv_a,
+                                                  double pre_acsr,
+                                                  double spmv_acsr) {
+  if (spmv_a >= spmv_acsr) return std::nullopt;  // never catches up
+  return (pre_a - pre_acsr) / (spmv_acsr - spmv_a);
+}
+
+/// Total preprocessing as the paper charges it: host transform/tuning time
+/// plus the format's H2D transfer beyond what CSR itself would ship.
+template <class T>
+double preprocessing_seconds(spmv::SpmvEngine<T>& e) {
+  return e.report().preprocess_s;
+}
+
+}  // namespace acsr::bench

@@ -1,0 +1,39 @@
+// Shared measurement loop for the preprocessing-focused experiments
+// (Table III, Table IV, Fig. 4): single-precision engines (BCCOO and TCOO
+// only exist in single precision, as the paper notes), preprocessing time
+// and one-SpMV time per format, with Ø for out-of-memory.
+#pragma once
+
+#include "bench/bench_common.hpp"
+
+namespace acsr::bench {
+
+struct FormatTimes {
+  double pre_s = 0.0;   // transform / tuning time
+  double spmv_s = 0.0;  // one SpMV
+  bool oom = false;
+};
+
+inline const std::vector<std::string>& comparator_formats() {
+  static const std::vector<std::string> f = {"bccoo", "brc", "tcoo", "hyb",
+                                             "acsr"};
+  return f;
+}
+
+inline FormatTimes measure_format(const BenchContext& ctx,
+                                  const graph::CorpusEntry& entry,
+                                  const std::string& format) {
+  FormatTimes ft;
+  try {
+    vgpu::Device dev(ctx.spec);
+    const auto m = ctx.build<float>(entry);
+    auto engine = core::make_engine<float>(format, dev, m, ctx.engine_cfg);
+    ft.pre_s = engine->report().preprocess_s;
+    ft.spmv_s = engine->spmv_seconds();
+  } catch (const vgpu::DeviceOom&) {
+    ft.oom = true;
+  }
+  return ft;
+}
+
+}  // namespace acsr::bench

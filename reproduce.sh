@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reproduce every result in the repository from scratch:
+#   ./reproduce.sh [results_dir]
+# Builds, runs the full test suite, regenerates every table and figure
+# (one file per bench), and runs each example. Set ACSR_SCALE to change
+# the corpus reduction factor (default 64; smaller = bigger matrices).
+set -euo pipefail
+
+out="${1:-results}"
+mkdir -p "$out"
+
+echo "== configure + build"
+cmake -B build -G Ninja > "$out/cmake.log"
+cmake --build build >> "$out/cmake.log"
+
+echo "== tests"
+ctest --test-dir build 2>&1 | tee "$out/tests.txt" | tail -2
+
+echo "== tables & figures"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "   $name"
+  "$b" > "$out/$name.txt" 2>&1
+done
+# The per-device Fig. 5 variants.
+build/bench/bench_fig5_gflops --device=gtx580 > "$out/bench_fig5_gflops.gtx580.txt"
+build/bench/bench_fig5_gflops --device=k10 > "$out/bench_fig5_gflops.k10.txt"
+
+echo "== examples"
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  name="$(basename "$e")"
+  echo "   $name"
+  "$e" > "$out/example_$name.txt" 2>&1
+done
+
+echo "done — outputs in $out/ (compare against EXPERIMENTS.md)"

@@ -1,0 +1,65 @@
+// Linear-algebra BFS (GraphBLAS-style): level-synchronous breadth-first
+// search expressed as repeated SpMV of the transposed adjacency matrix
+// with the frontier indicator vector — the paper's thesis applied beyond
+// ranking ("many common operations on graph data structures are expressed
+// using sparse-matrix operations", section I).
+#pragma once
+
+#include "apps/power_method.hpp"
+#include "mat/csr.hpp"
+
+namespace acsr::apps {
+
+template <class T>
+struct BfsResult {
+  /// level[v] = hops from the source; -1 if unreachable.
+  std::vector<int> level;
+  int depth = 0;           // deepest reached level
+  std::size_t visited = 0; // reachable vertices (incl. source)
+  /// Simulated device time: one SpMV + frontier update per level.
+  double total_s = 0.0;
+};
+
+/// `engine` must hold the *transposed* adjacency (y = A^T x accumulates
+/// into a vertex from its in-edges; BFS needs out-edge expansion, i.e.
+/// x^T A, which is A^T x).
+template <class T>
+BfsResult<T> bfs(spmv::SpmvEngine<T>& engine, mat::index_t source) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(),
+                 "BFS needs a square adjacency matrix");
+  ACSR_CHECK(source >= 0 && static_cast<std::size_t>(source) < n);
+
+  BfsResult<T> res;
+  res.level.assign(n, -1);
+  res.level[static_cast<std::size_t>(source)] = 0;
+  res.visited = 1;
+
+  std::vector<T> frontier(n, T{0});
+  frontier[static_cast<std::size_t>(source)] = T{1};
+
+  const double spmv_s = engine.spmv_seconds();
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 4 * n * sizeof(T), 2);
+
+  std::vector<T> reached;
+  for (int depth = 1; static_cast<std::size_t>(depth) <= n; ++depth) {
+    engine.apply(frontier, reached);
+    res.total_s += spmv_s + aux_s;
+    bool any = false;
+    std::fill(frontier.begin(), frontier.end(), T{0});
+    for (std::size_t v = 0; v < n; ++v) {
+      if (reached[v] != T{0} && res.level[v] < 0) {
+        res.level[v] = depth;
+        frontier[v] = T{1};
+        ++res.visited;
+        any = true;
+      }
+    }
+    if (!any) break;
+    res.depth = depth;
+  }
+  return res;
+}
+
+}  // namespace acsr::apps

@@ -1,0 +1,127 @@
+// Further SpMV-powered graph analytics beyond the paper's three: Katz
+// centrality (a damped walk count — PageRank's cousin without the
+// normalisation) and connected components via label propagation on the
+// (min, x) tropical-ish semiring, both iterating one engine step per
+// round. They demonstrate the paper's framing that graph operations reduce
+// to sparse-matrix operations.
+#pragma once
+
+#include "apps/power_method.hpp"
+#include "mat/csr.hpp"
+
+namespace acsr::apps {
+
+struct KatzConfig {
+  /// Attenuation; must be below 1/lambda_max(A) for convergence. The
+  /// default is conservative for row-substochastic operands.
+  double alpha = 0.1;
+  double beta = 1.0;  // base score
+  PowerIterConfig iter;
+};
+
+/// Katz centrality: x = beta*1 + alpha A^T x, iterated to fixpoint.
+/// `engine` holds A^T (in-edge accumulation), unnormalised.
+template <class T>
+AppResult<T> katz_centrality(spmv::SpmvEngine<T>& engine,
+                             const KatzConfig& cfg = {}) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(), "Katz needs square A");
+
+  AppResult<T> res;
+  std::vector<T> x(n, static_cast<T>(cfg.beta));
+  const double spmv_s = engine.spmv_seconds();
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
+
+  std::vector<T> y;
+  for (int k = 0; k < cfg.iter.max_iters; ++k) {
+    engine.apply(x, y);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = static_cast<T>(cfg.beta) + static_cast<T>(cfg.alpha) * y[i];
+    res.iterations = k + 1;
+    res.total_s += spmv_s + aux_s;
+    res.spmv_s += spmv_s;
+    const double dist = euclidean_distance(y, x);
+    x.swap(y);
+    if (dist < cfg.iter.epsilon) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.scores = std::move(x);
+  return res;
+}
+
+struct ComponentsResult {
+  std::vector<mat::index_t> label;  // component id = smallest member vertex
+  mat::index_t num_components = 0;
+  int rounds = 0;
+  double total_s = 0.0;  // simulated device time (one SpMV-shaped pass/round)
+};
+
+/// Connected components by label propagation over the *undirected* view of
+/// the adjacency structure: each round every vertex takes the minimum
+/// label among itself and its neighbours — an SpMV on the (min, select)
+/// semiring, costed as one engine SpMV per round.
+template <class T>
+ComponentsResult connected_components(spmv::SpmvEngine<T>& engine,
+                                      const mat::Csr<T>& adjacency) {
+  ACSR_CHECK_MSG(adjacency.rows == adjacency.cols,
+                 "components need a square adjacency matrix");
+  const auto n = static_cast<std::size_t>(adjacency.rows);
+  // Symmetrise the structure once (host-side, like the operand prep the
+  // apps all do).
+  const mat::Csr<T> at = adjacency.transpose();
+
+  ComponentsResult res;
+  res.label.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    res.label[v] = static_cast<mat::index_t>(v);
+
+  const double round_s =
+      engine.spmv_seconds() +
+      aux_kernels_seconds(engine.device(), 4 * n * sizeof(T), 2);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++res.rounds;
+    res.total_s += round_s;
+    auto relax = [&](const mat::Csr<T>& m) {
+      for (mat::index_t u = 0; u < m.rows; ++u)
+        for (mat::offset_t i = m.row_off[static_cast<std::size_t>(u)];
+             i < m.row_off[static_cast<std::size_t>(u) + 1]; ++i) {
+          const auto v = static_cast<std::size_t>(
+              m.col_idx[static_cast<std::size_t>(i)]);
+          const auto uu = static_cast<std::size_t>(u);
+          if (res.label[v] < res.label[uu]) {
+            res.label[uu] = res.label[v];
+            changed = true;
+          } else if (res.label[uu] < res.label[v]) {
+            res.label[v] = res.label[uu];
+            changed = true;
+          }
+        }
+    };
+    relax(adjacency);
+    relax(at);
+  }
+
+  // Count distinct representative labels.
+  std::vector<char> seen(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Path-compress to the representative (labels always point to a
+    // smaller vertex, terminating at a fixpoint label[r] == r).
+    mat::index_t r = res.label[v];
+    while (res.label[static_cast<std::size_t>(r)] != r)
+      r = res.label[static_cast<std::size_t>(r)];
+    res.label[v] = r;
+    if (!seen[static_cast<std::size_t>(r)]) {
+      seen[static_cast<std::size_t>(r)] = 1;
+      ++res.num_components;
+    }
+  }
+  return res;
+}
+
+}  // namespace acsr::apps

@@ -1,0 +1,244 @@
+// Dynamic-graph PageRank (paper section VII, Fig. 7).
+//
+// The graph evolves over E epochs; each epoch changes ~10% of the rows of
+// the SpMV matrix. PageRank re-runs per epoch, warm-started from the
+// previous epoch's converged vector (so later epochs need few iterations,
+// which is what makes preprocessing/transfer overheads decisive).
+//
+// Three methods are compared:
+//   * ACSR (incremental): only the change list crosses PCIe; a device
+//     kernel patches the slack-padded CSR in place; re-binning is one host
+//     scan + a small metadata upload.
+//   * CSR: the full updated matrix is re-copied to the device each epoch.
+//   * HYB: full re-copy plus the ELL/COO re-transformation.
+// Epoch 0 is the cold start: every method pays its initial full copy.
+//
+// Note on the workload: updates are applied directly to the SpMV operand
+// matrix (the row-normalised, transposed adjacency), because that is the
+// CSR structure the paper's update kernel patches; see EXPERIMENTS.md.
+#pragma once
+
+#include "apps/centrality.hpp"
+#include "apps/pagerank.hpp"
+#include "core/acsr_engine.hpp"
+#include "core/incremental_csr.hpp"
+#include "graph/dynamic.hpp"
+#include "spmv/csr_vector.hpp"
+#include "spmv/hyb_engine.hpp"
+
+namespace acsr::apps {
+
+struct DynamicPageRankConfig {
+  int epochs = 10;
+  graph::UpdateParams update;  // defaults: 10% of rows
+  PageRankConfig pagerank;
+  core::AcsrOptions acsr;
+  mat::index_t hyb_breakeven = 4096;
+  std::uint64_t seed = 99;
+  /// Which ranking iterates per epoch: "pagerank" (the paper's section
+  /// VII) or "katz" (extension — the section speaks of ranking algorithms
+  /// generally). Both warm-start from the previous epoch's scores.
+  std::string app = "pagerank";
+  KatzConfig katz;  // used when app == "katz"
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  int iterations = 0;
+  // Per-method total epoch time: update-path cost + iterations x step.
+  double acsr_s = 0.0;
+  double csr_s = 0.0;
+  double hyb_s = 0.0;
+  // Update-path (non-iteration) cost per method, for reporting.
+  double acsr_update_s = 0.0;
+  double csr_update_s = 0.0;
+  double hyb_update_s = 0.0;
+  std::size_t relocated_rows = 0;  // rows moved to the spare heap
+  bool rebuilt = false;            // spare heap exhausted: full rebuild
+
+  double speedup_vs_csr() const { return acsr_s > 0 ? csr_s / acsr_s : 0; }
+  double speedup_vs_hyb() const { return acsr_s > 0 ? hyb_s / acsr_s : 0; }
+};
+
+template <class T>
+struct DynamicPageRankResult {
+  std::vector<EpochRecord> epochs;
+  std::vector<T> final_scores;
+  /// The matrix after all updates (for verification against the
+  /// incremental device state).
+  mat::Csr<T> final_matrix;
+
+  double mean_speedup_vs_csr() const {
+    double s = 0;
+    for (const auto& e : epochs) s += e.speedup_vs_csr();
+    return epochs.empty() ? 0 : s / static_cast<double>(epochs.size());
+  }
+  double mean_speedup_vs_hyb() const {
+    double s = 0;
+    for (const auto& e : epochs) s += e.speedup_vs_hyb();
+    return epochs.empty() ? 0 : s / static_cast<double>(epochs.size());
+  }
+};
+
+/// Host-side Katz iteration count + scores (same role as
+/// pagerank_functional below, for the dynamic driver's "katz" mode).
+template <class T>
+std::pair<int, std::vector<T>> katz_functional(
+    const mat::Csr<T>& m, const KatzConfig& cfg,
+    const std::vector<T>* warm_start) {
+  const auto n = static_cast<std::size_t>(m.rows);
+  std::vector<T> x(n, static_cast<T>(cfg.beta));
+  if (warm_start != nullptr) x = *warm_start;
+  std::vector<T> y;
+  int iters = 0;
+  for (int k = 0; k < cfg.iter.max_iters; ++k) {
+    m.spmv(x, y);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = static_cast<T>(cfg.beta) + static_cast<T>(cfg.alpha) * y[i];
+    ++iters;
+    const double dist = euclidean_distance(y, x);
+    x.swap(y);
+    if (dist < cfg.iter.epsilon) break;
+  }
+  return {iters, std::move(x)};
+}
+
+/// Host-side PageRank iteration count + scores for the current matrix
+/// (identical math for all three methods, so they share one count).
+template <class T>
+std::pair<int, std::vector<T>> pagerank_functional(
+    const mat::Csr<T>& m, const PageRankConfig& cfg,
+    const std::vector<T>* warm_start) {
+  const auto n = static_cast<std::size_t>(m.rows);
+  const T base =
+      static_cast<T>((1.0 - cfg.damping) / static_cast<double>(n));
+  std::vector<T> pr(n, static_cast<T>(1.0 / static_cast<double>(n)));
+  if (warm_start != nullptr) pr = *warm_start;
+  std::vector<T> y;
+  int iters = 0;
+  for (int k = 0; k < cfg.iter.max_iters; ++k) {
+    m.spmv(pr, y);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = base + static_cast<T>(cfg.damping) * y[i];
+      sum += static_cast<double>(y[i]);
+    }
+    // Same L1 guard as apps::pagerank (see there).
+    if (sum > 0.0)
+      for (std::size_t i = 0; i < n; ++i)
+        y[i] = static_cast<T>(static_cast<double>(y[i]) / sum);
+    ++iters;
+    const double dist = euclidean_distance(y, pr);
+    pr.swap(y);
+    if (dist < cfg.iter.epsilon) break;
+  }
+  return {iters, std::move(pr)};
+}
+
+/// `spmv_matrix` is the operand PageRank multiplies by each iteration,
+/// i.e. pagerank_matrix(adjacency).
+template <class T>
+DynamicPageRankResult<T> dynamic_pagerank(
+    vgpu::Device& acsr_dev, vgpu::Device& csr_dev, vgpu::Device& hyb_dev,
+    const mat::Csr<T>& spmv_matrix, const DynamicPageRankConfig& cfg) {
+  DynamicPageRankResult<T> res;
+  mat::Csr<T> current = spmv_matrix;
+  const auto n = static_cast<std::size_t>(current.rows);
+
+  // ACSR's persistent device state.
+  core::IncrementalCsr<T> inc(acsr_dev, current);
+  const double acsr_initial_copy =
+      acsr_dev.note_transfer(inc.bytes()).duration_s;
+
+  std::vector<T> prev_scores;
+
+  for (int e = 0; e < cfg.epochs; ++e) {
+    EpochRecord rec;
+    rec.epoch = e;
+
+    // --- Apply this epoch's graph change. --------------------------------
+    if (e == 0) {
+      rec.acsr_update_s = acsr_initial_copy;
+    } else {
+      graph::UpdateParams up = cfg.update;
+      up.seed = cfg.seed + static_cast<std::uint64_t>(e) * 7919;
+      graph::UpdateBatch<T> batch = graph::generate_update(current, up);
+      // Inserted weights take the row's current mean magnitude so the
+      // operand stays near-stochastic (raw U(0.5,1) weights would blow up
+      // the spectral radius of the normalised matrix).
+      for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+        const auto r = static_cast<std::size_t>(batch.rows[i]);
+        const mat::offset_t lo = current.row_off[r];
+        const mat::offset_t hi = current.row_off[r + 1];
+        T mean = static_cast<T>(1.0 / static_cast<double>(n));
+        if (hi > lo) {
+          double s = 0.0;
+          for (mat::offset_t j = lo; j < hi; ++j)
+            s += static_cast<double>(
+                current.vals[static_cast<std::size_t>(j)]);
+          mean = static_cast<T>(s / static_cast<double>(hi - lo));
+        }
+        for (mat::offset_t k = batch.ins_off[i]; k < batch.ins_off[i + 1];
+             ++k)
+          batch.ins_vals[static_cast<std::size_t>(k)] = mean;
+      }
+      graph::apply_update_host(current, batch);
+      const auto ur = inc.apply_update(batch);
+      rec.acsr_update_s = ur.h2d_s + ur.kernel_s + ur.rebuild_s;
+      rec.relocated_rows = ur.overflowed_rows;
+      rec.rebuilt = ur.rebuild_s > 0.0;
+    }
+
+    // --- Per-method update-path costs. ------------------------------------
+    // Re-bin ACSR (host scan + metadata upload) every epoch.
+    vgpu::HostModel hm;
+    core::BinningOptions bopt = cfg.acsr.binning;
+    bopt.enable_dp =
+        bopt.enable_dp && acsr_dev.spec().supports_dynamic_parallelism();
+    core::Binning binning =
+        core::Binning::build(inc.row_lengths(), bopt, &hm);
+    core::AcsrLauncher<T> launcher(acsr_dev, std::move(binning), cfg.acsr);
+    rec.acsr_update_s += hm.seconds() + launcher.metadata_upload_s();
+
+    // CSR / HYB re-ship the full matrix (and HYB re-transforms).
+    spmv::CsrVectorEngine<T> csr_engine(csr_dev, current);
+    rec.csr_update_s =
+        csr_engine.report().h2d_s + csr_engine.report().preprocess_s;
+    spmv::HybEngine<T> hyb_engine(hyb_dev, current, cfg.hyb_breakeven);
+    rec.hyb_update_s =
+        hyb_engine.report().h2d_s + hyb_engine.report().preprocess_s;
+
+    // --- Iterations to convergence (same for every method). ---------------
+    auto [iters, scores] =
+        cfg.app == "katz"
+            ? katz_functional(current, cfg.katz,
+                              e == 0 ? nullptr : &prev_scores)
+            : pagerank_functional(current, cfg.pagerank,
+                                  e == 0 ? nullptr : &prev_scores);
+    rec.iterations = iters;
+    prev_scores = std::move(scores);
+
+    // --- Per-iteration step times. -----------------------------------------
+    std::vector<T> x_host(n, static_cast<T>(1.0 / static_cast<double>(n)));
+    auto x_dev = acsr_dev.template alloc<T>(n, "dyn.x");
+    x_dev.host() = x_host;
+    auto y_dev = acsr_dev.template alloc<T>(n, "dyn.y");
+    const double acsr_spmv =
+        launcher.run(inc.row_begin(), inc.row_end(), inc.col_idx(),
+                     inc.vals(), x_dev.cspan(), y_dev.span());
+    const double aux =
+        aux_kernels_seconds(acsr_dev, 5 * n * sizeof(T), 3);
+    const double it = static_cast<double>(iters);
+    rec.acsr_s = rec.acsr_update_s + it * (acsr_spmv + aux);
+    rec.csr_s = rec.csr_update_s + it * (csr_engine.spmv_seconds() + aux);
+    rec.hyb_s = rec.hyb_update_s + it * (hyb_engine.spmv_seconds() + aux);
+
+    res.epochs.push_back(rec);
+  }
+
+  res.final_scores = std::move(prev_scores);
+  res.final_matrix = std::move(current);
+  return res;
+}
+
+}  // namespace acsr::apps

@@ -1,0 +1,55 @@
+// Shared machinery for the paper's three graph-mining applications
+// (PageRank, HITS, RWR): all are power iterations whose per-step cost is
+// one SpMV plus a handful of streaming vector kernels, iterated until the
+// Euclidean distance between successive score vectors drops below epsilon.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "spmv/engine.hpp"
+
+namespace acsr::apps {
+
+struct PowerIterConfig {
+  double epsilon = 1e-6;  // Euclidean convergence threshold (the paper's)
+  int max_iters = 10000;
+};
+
+template <class T>
+struct AppResult {
+  int iterations = 0;
+  /// Simulated device time: iterations x (SpMV + auxiliary kernels).
+  double total_s = 0.0;
+  double spmv_s = 0.0;  // the SpMV share of total_s
+  std::vector<T> scores;
+  bool converged = false;
+};
+
+template <class T>
+double euclidean_distance(const std::vector<T>& a, const std::vector<T>& b) {
+  ACSR_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d =
+        static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+/// Simulated cost of one iteration's vector work: `n_kernels` streaming
+/// kernels that together read/write `bytes` of device memory (axpy, scale,
+/// the distance reduction). These are bandwidth-bound and identical across
+/// SpMV formats, so they dilute — but never change the sign of — the
+/// format speedups, exactly as on real hardware.
+inline double aux_kernels_seconds(const vgpu::Device& dev, std::size_t bytes,
+                                  int n_kernels) {
+  const auto& s = dev.spec();
+  return static_cast<double>(n_kernels) * s.host_launch_overhead_s +
+         static_cast<double>(bytes) /
+             (s.dram_bandwidth_gbs * 1e9 * s.dram_efficiency);
+}
+
+}  // namespace acsr::apps

@@ -1,0 +1,62 @@
+// Random Walk with Restart (paper Eq. 8):
+//   r^{k+1} = c (W r^k) + (1 - c) e_i
+// with W the column-normalised adjacency matrix, c the restart
+// probability, and e_i the indicator of the query node.
+#pragma once
+
+#include "apps/power_method.hpp"
+#include "mat/csr.hpp"
+
+namespace acsr::apps {
+
+struct RwrConfig {
+  double c = 0.9;             // walk-continuation probability
+  mat::index_t source = 0;    // query node i
+  PowerIterConfig iter;
+};
+
+/// The matrix RWR multiplies by: column-normalised adjacency.
+template <class T>
+mat::Csr<T> rwr_matrix(const mat::Csr<T>& adjacency) {
+  mat::Csr<T> w = adjacency;
+  w.col_normalize();
+  return w;
+}
+
+template <class T>
+AppResult<T> rwr(spmv::SpmvEngine<T>& engine, const RwrConfig& cfg) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(), "RWR needs square W");
+  ACSR_CHECK(cfg.source >= 0 &&
+             static_cast<std::size_t>(cfg.source) < n);
+
+  AppResult<T> res;
+  std::vector<T> r(n, T{0});
+  r[static_cast<std::size_t>(cfg.source)] = T{1};
+  const T restart = static_cast<T>(1.0 - cfg.c);
+
+  const double spmv_s = engine.spmv_seconds();
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
+
+  std::vector<T> y;
+  for (int k = 0; k < cfg.iter.max_iters; ++k) {
+    engine.apply(r, y);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = static_cast<T>(cfg.c) * y[i];
+    y[static_cast<std::size_t>(cfg.source)] += restart;
+    res.iterations = k + 1;
+    res.total_s += spmv_s + aux_s;
+    res.spmv_s += spmv_s;
+    const double dist = euclidean_distance(y, r);
+    r.swap(y);
+    if (dist < cfg.iter.epsilon) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.scores = std::move(r);
+  return res;
+}
+
+}  // namespace acsr::apps

@@ -1,0 +1,73 @@
+// Error-handling primitives shared by every module.
+//
+// Two tiers, following the Core Guidelines split between preconditions
+// (programming errors) and recoverable runtime failures:
+//   ACSR_CHECK   - precondition / invariant; violation is a bug. Throws
+//                  acsr::InvariantError carrying file:line and the
+//                  stringified condition.
+//   ACSR_REQUIRE - validation of external input (files, CLI, sizes);
+//                  throws acsr::InputError with a caller-supplied message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acsr {
+
+/// Raised when an internal invariant is violated (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Raised when external input (file contents, user parameters) is invalid.
+class InputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invariant(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": invariant violated: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+[[noreturn]] inline void throw_input(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": invalid input: " << msg;
+  throw InputError(os.str());
+}
+
+}  // namespace detail
+}  // namespace acsr
+
+#define ACSR_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::acsr::detail::throw_invariant(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define ACSR_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::acsr::detail::throw_invariant(#cond, __FILE__, __LINE__,          \
+                                      os_.str());                         \
+    }                                                                     \
+  } while (0)
+
+#define ACSR_REQUIRE(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::acsr::detail::throw_input(__FILE__, __LINE__, os_.str());         \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,113 @@
+// Streaming statistics helpers used for matrix row-length analysis
+// (Table I columns), benchmark summaries, and the Fig. 3 histogram.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acsr {
+
+/// Single-pass running mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance, matching how the paper reports sigma over all rows.
+  double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log2-bucketed histogram: bucket i counts values v with
+/// 2^{i-1} < v <= 2^i (bucket 0 counts v == 0 separately is excluded;
+/// values of 0 land in bucket 0, v==1 in bucket 1). This is exactly the
+/// ACSR binning rule, so the same histogram drives Fig. 3 and the binner.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t v) {
+    const std::size_t b = bucket_of(v);
+    if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+    ++buckets_[b];
+    ++total_;
+  }
+
+  /// Bucket index for a value under the ACSR rule: 0 for v==0, else
+  /// ceil(log2(v)) + 1 shifted so that v in (2^{i-1}, 2^i] -> bucket i,
+  /// with v==1 and v==2 both in bucket 1 (the paper's Bin_1 holds 1-2 nnz).
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    std::size_t b = 1;
+    std::uint64_t hi = 2;  // bucket 1 covers (0, 2]
+    while (v > hi) {
+      ++b;
+      hi <<= 1;
+    }
+    return b;
+  }
+
+  /// Inclusive upper bound of bucket b (2^b for b>=1, 0 for b==0).
+  static std::uint64_t bucket_hi(std::size_t b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << b);
+  }
+  /// Exclusive lower bound of bucket b.
+  static std::uint64_t bucket_lo(std::size_t b) {
+    return b <= 1 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t count(std::size_t b) const {
+    return b < buckets_.size() ? buckets_[b] : 0;
+  }
+  std::uint64_t total() const { return total_; }
+  double frequency(std::size_t b) const {
+    return total_ ? static_cast<double>(count(b)) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric mean accumulator for speedup summaries.
+class GeoMean {
+ public:
+  void add(double x) {
+    ACSR_CHECK(x > 0.0);
+    log_sum_ += std::log(x);
+    ++n_;
+  }
+  double value() const {
+    return n_ ? std::exp(log_sum_ / static_cast<double>(n_)) : 0.0;
+  }
+  std::uint64_t count() const { return n_; }
+
+ private:
+  double log_sum_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace acsr

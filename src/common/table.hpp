@@ -1,0 +1,73 @@
+// Minimal fixed-width table printer used by every bench binary so that the
+// regenerated tables visually match the paper layout.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acsr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    ACSR_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << headers_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Format a double with the given precision; "-" for NaN, "inf"/"OOM"
+  /// sentinels are passed through by callers as strings.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string integer(long long v) { return std::to_string(v); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+      os << '+';
+      for (auto w : width) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        os << ' ' << std::setw(static_cast<int>(width[c])) << cells[c]
+           << " |";
+      os << '\n';
+    };
+
+    os << std::left;
+    rule();
+    line(headers_);
+    rule();
+    os << std::right;
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acsr

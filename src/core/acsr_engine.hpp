@@ -1,0 +1,314 @@
+// ACSR — the paper's contribution (Algorithms 1-4).
+//
+// Split into two layers:
+//   * AcsrLauncher — owns the bin metadata (the only thing ACSR adds on
+//     top of CSR) and executes the launch sequence against *any* CSR-shaped
+//     device arrays: one bin-specific grid per non-empty bin (Algorithm 2),
+//     plus the dynamic-parallelism parent grid (Algorithm 3) whose threads
+//     launch a row-specific child grid per long-tail row (Algorithm 4).
+//     The dynamic-graph driver reuses a launcher over the incremental
+//     (slack-padded) CSR without touching the matrix data.
+//   * AcsrEngine — the SpmvEngine facade: uploads the CSR arrays, bins the
+//     rows (one O(rows) host scan), and delegates to the launcher.
+// On devices without CC >= 3.5 (GTX 580, Tesla K10) ACSR degrades to
+// binning-only: tail rows are handled by the widest bin kernels.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "core/binning.hpp"
+#include "spmv/csr_device.hpp"
+#include "spmv/csr_vector.hpp"
+#include "spmv/engine.hpp"
+
+namespace acsr::core {
+
+struct AcsrOptions {
+  BinningOptions binning;
+  /// Elements per child-kernel thread (thread-coarsening knob of Alg. 3).
+  int thread_load = 8;
+  /// Issue the per-bin grids on independent streams (concurrent kernels).
+  /// false serialises them — the ablation bench measures the difference.
+  bool concurrent_streams = true;
+  /// Read x through the texture path, as the paper (and cuSPARSE/CUSP)
+  /// does; false uses plain global loads — the ablation's comparison.
+  bool use_texture = true;
+};
+
+template <class T>
+class AcsrLauncher {
+ public:
+  AcsrLauncher(vgpu::Device& dev, Binning binning, AcsrOptions opt)
+      : dev_(dev), binning_(std::move(binning)), opt_(opt) {
+    upload_metadata();
+  }
+
+  const Binning& binning() const { return binning_; }
+  /// Table V columns: bin-specific and row-specific grids per SpMV.
+  int bin_grids() const { return binning_.num_nonempty_bins(); }
+  int row_grids() const { return static_cast<int>(binning_.dp_rows.size()); }
+  std::size_t metadata_bytes() const { return metadata_bytes_; }
+  double metadata_upload_s() const { return metadata_upload_s_; }
+
+  /// One SpMV over the given extent arrays (plain CSR passes
+  /// row_off[0..rows) / row_off[1..rows+1); incremental CSR its explicit
+  /// begin/end arrays). Returns simulated seconds; `agg` receives the
+  /// summed kernel record when non-null.
+  double run(vgpu::DeviceSpan<const mat::offset_t> row_start,
+             vgpu::DeviceSpan<const mat::offset_t> row_end,
+             vgpu::DeviceSpan<const mat::index_t> col_idx,
+             vgpu::DeviceSpan<const T> vals, vgpu::DeviceSpan<const T> xs,
+             vgpu::DeviceSpan<T> ys, vgpu::KernelRun* agg = nullptr) {
+    std::vector<vgpu::KernelRun> runs;
+    // On independent streams the grids execute concurrently and share L2
+    // (their row sweeps are aligned); serialised mode forgoes both.
+    vgpu::ConcurrentGroup group(dev_);
+    const bool conc = opt_.concurrent_streams;
+    auto do_launch = [&](const vgpu::LaunchConfig& cfg, auto&& body) {
+      runs.push_back(conc ? group.launch_warps(cfg, body)
+                          : dev_.launch_warps(cfg, body));
+    };
+
+
+    // --- Bin-specific grids (Algorithm 2). --------------------------------
+    for (std::size_t i = 1; i < binning_.bins.size(); ++i) {
+      const auto& rows_in_bin = binning_.bins[i];
+      if (rows_in_bin.empty()) continue;
+      const int v = Binning::vector_size_for_bin(i);
+      const int rows_per_warp = vgpu::kWarpSize / v;
+      const long long n_slots = static_cast<long long>(rows_in_bin.size());
+      const long long warps = (n_slots + rows_per_warp - 1) / rows_per_warp;
+      vgpu::LaunchConfig cfg;
+      cfg.name = "acsr_bin" + std::to_string(i);
+      cfg.block_dim = 128;
+      cfg.grid_dim = std::max<long long>(1, (warps + 3) / 4);
+      auto row_map = bin_rows_dev_[i].cspan();
+      do_launch(cfg, [&](vgpu::Warp& w) {
+        const long long first = w.global_warp() * rows_per_warp;
+        if (first >= n_slots) return;
+        spmv::csr_vector_warp<T>(w, v, row_start, row_end, col_idx, vals,
+                                 xs, ys, row_map, n_slots, first,
+                                 opt_.use_texture);
+      });
+    }
+
+    // --- Dynamic-parallelism parent grid (Algorithm 3). -------------------
+    if (!binning_.dp_rows.empty()) {
+      const long long n_dp = static_cast<long long>(binning_.dp_rows.size());
+      vgpu::LaunchConfig cfg;
+      cfg.name = "acsr_dp_parent";
+      cfg.block_dim = 32;
+      cfg.grid_dim = (n_dp + 31) / 32;
+      auto dp_rows = dp_rows_dev_.cspan();
+      const int thread_load = opt_.thread_load;
+      do_launch(cfg, [&](vgpu::Warp& w) {
+        using vgpu::LaneArray;
+        using vgpu::Mask;
+        LaneArray<long long> tid = w.global_threads();
+        const Mask live = tid.where(
+            [n_dp](long long t) { return t < n_dp; }, w.active_mask());
+        if (live == 0) return;
+        const LaneArray<mat::index_t> row = w.load(dp_rows, tid, live);
+        const LaneArray<mat::offset_t> start = w.load(row_start, row, live);
+        const LaneArray<mat::offset_t> end = w.load(row_end, row, live);
+        // The children *accumulate* (Algorithm 4's inter-block reduction),
+        // so the parent clears its rows before launching them.
+        w.store(ys, row, LaneArray<T>::filled(T{0}), live);
+        w.count_alu(4);  // bSize computation
+        for (int l = 0; l < vgpu::kWarpSize; ++l) {
+          if (!vgpu::lane_active(live, l)) continue;
+          launch_row_child(w, row[l], start[l], end[l], col_idx, vals, xs,
+                           ys, thread_load, opt_.use_texture);
+        }
+      });
+    }
+
+    if (agg != nullptr) {
+      *agg = runs.empty() ? vgpu::KernelRun{} : runs.front();
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        agg->counters += runs[i].counters;
+        agg->duration_s += runs[i].duration_s;
+      }
+      agg->name = "acsr";
+    }
+    if (runs.empty()) return 0.0;
+    return conc ? group.seconds() : vgpu::combine_sequential(runs);
+  }
+
+ private:
+  /// Algorithm 3 body for one parent lane: size and launch the
+  /// row-specific child grid (Algorithm 4).
+  static void launch_row_child(vgpu::Warp& w, mat::index_t row,
+                               mat::offset_t start, mat::offset_t end,
+                               vgpu::DeviceSpan<const mat::index_t> col_idx,
+                               vgpu::DeviceSpan<const T> vals,
+                               vgpu::DeviceSpan<const T> xs,
+                               vgpu::DeviceSpan<T> ys, int thread_load,
+                               bool use_tex) {
+    const long long nnz = end - start;
+    if (nnz <= 0) return;
+    const long long want_threads = (nnz + thread_load - 1) / thread_load;
+    const int block_dim = static_cast<int>(
+        std::min<long long>(256, ((want_threads + 31) / 32) * 32));
+    vgpu::LaunchConfig child;
+    child.name = "acsr_row" + std::to_string(row);
+    child.block_dim = block_dim;
+    child.grid_dim =
+        std::max<long long>(1, (want_threads + block_dim - 1) / block_dim);
+    const long long total_threads = child.grid_dim * child.block_dim;
+
+    w.launch_child(child, [row, start, end, col_idx, vals, xs, ys,
+                           total_threads, use_tex](vgpu::Block& blk) {
+      // Phase 1: grid-stride partial sums, one per warp, into shared.
+      auto partials =
+          blk.shared<T>(static_cast<std::size_t>(blk.warps_per_block()));
+      blk.each_warp([&](vgpu::Warp& cw) {
+        using vgpu::LaneArray;
+        using vgpu::Mask;
+        const LaneArray<long long> tid = cw.global_threads();
+        LaneArray<mat::offset_t> i;
+        for (int l = 0; l < vgpu::kWarpSize; ++l) i[l] = start + tid[l];
+        LaneArray<T> sum{};
+        for (;;) {
+          Mask m = 0;
+          for (int l = 0; l < vgpu::kWarpSize; ++l)
+            if (vgpu::lane_active(cw.active_mask(), l) && i[l] < end)
+              m |= vgpu::lane_bit(l);
+          if (m == 0) break;
+          const LaneArray<mat::index_t> col = cw.load(col_idx, i, m);
+          const LaneArray<T> val = cw.load(vals, i, m);
+          const LaneArray<T> xv =
+              use_tex ? cw.load_tex(xs, col, m)
+                      : cw.load_gather_uncached(xs, col, m);
+          vgpu::fma_into(sum, val, xv, m);
+          cw.count_flops(m, 2, sizeof(T) == 8);
+          cw.count_alu(2);
+          for (int l = 0; l < vgpu::kWarpSize; ++l)
+            if (vgpu::lane_active(m, l)) i[l] += total_threads;
+        }
+        sum = cw.reduce_add(sum, cw.active_mask(), vgpu::kWarpSize);
+        partials[static_cast<std::size_t>(cw.warp_in_block())] = sum[0];
+        cw.count_smem(1);
+      });
+      blk.sync();
+      // Phase 2: warp 0 folds the per-warp partials, lane 0 publishes.
+      blk.each_warp([&](vgpu::Warp& cw) {
+        if (cw.warp_in_block() != 0) return;
+        using vgpu::LaneArray;
+        T total{0};
+        for (std::size_t p = 0; p < partials.size(); ++p)
+          total += partials[p];
+        cw.count_smem(static_cast<int>(partials.size()));
+        cw.count_flops(vgpu::lane_bit(0),
+                       static_cast<int>(partials.size()), sizeof(T) == 8);
+        LaneArray<mat::index_t> rr{};
+        LaneArray<T> vv{};
+        rr[0] = row;
+        vv[0] = total;
+        cw.atomic_add(ys, rr, vv, vgpu::lane_bit(0));
+      });
+    });
+  }
+
+  void upload_metadata() {
+    metadata_bytes_ = 0;
+    bin_rows_dev_.clear();
+    bin_rows_dev_.resize(binning_.bins.size());
+    for (std::size_t i = 1; i < binning_.bins.size(); ++i) {
+      if (binning_.bins[i].empty()) continue;
+      bin_rows_dev_[i] = dev_.template alloc<mat::index_t>(
+          binning_.bins[i].size(), "acsr.bin" + std::to_string(i));
+      bin_rows_dev_[i].host() = binning_.bins[i];
+      metadata_bytes_ += bin_rows_dev_[i].bytes();
+    }
+    if (!binning_.dp_rows.empty()) {
+      dp_rows_dev_ = dev_.template alloc<mat::index_t>(
+          binning_.dp_rows.size(), "acsr.dp_rows");
+      dp_rows_dev_.host() = binning_.dp_rows;
+      metadata_bytes_ += dp_rows_dev_.bytes();
+    }
+    metadata_upload_s_ = dev_.note_transfer(metadata_bytes_).duration_s;
+  }
+
+  vgpu::Device& dev_;
+  Binning binning_;
+  AcsrOptions opt_;
+  std::vector<vgpu::DeviceBuffer<mat::index_t>> bin_rows_dev_;
+  vgpu::DeviceBuffer<mat::index_t> dp_rows_dev_;
+  std::size_t metadata_bytes_ = 0;
+  double metadata_upload_s_ = 0.0;
+};
+
+/// Bin a CSR matrix: the one-scan preprocessing of Algorithm 1, with DP
+/// force-disabled when the device lacks CC >= 3.5.
+template <class T>
+Binning bin_matrix(const mat::Csr<T>& a, const vgpu::Device& dev,
+                   BinningOptions opt, vgpu::HostModel* hm = nullptr) {
+  opt.enable_dp = opt.enable_dp && dev.spec().supports_dynamic_parallelism();
+  std::vector<mat::offset_t> row_nnz(static_cast<std::size_t>(a.rows));
+  for (mat::index_t r = 0; r < a.rows; ++r)
+    row_nnz[static_cast<std::size_t>(r)] = a.row_nnz(r);
+  return Binning::build(row_nnz, opt, hm);
+}
+
+template <class T>
+class AcsrEngine final : public spmv::EngineBase<T> {
+ public:
+  /// `preset_binning` lets the multi-GPU partitioner inject a per-device
+  /// share of each bin; by default the engine bins the whole matrix.
+  AcsrEngine(vgpu::Device& dev, const mat::Csr<T>& a, AcsrOptions opt = {},
+             std::optional<Binning> preset_binning = std::nullopt)
+      : spmv::EngineBase<T>(dev, "ACSR"), host_(a) {
+    vgpu::HostModel hm;
+    dev_csr_ = spmv::CsrDevice<T>::upload(dev, a, this->name());
+    this->charge_upload(dev_csr_.bytes());
+
+    Binning b = preset_binning.has_value()
+                    ? std::move(*preset_binning)
+                    : bin_matrix(a, dev, opt.binning, &hm);
+    launcher_.emplace(dev, std::move(b), opt);
+    this->report_.preprocess_s = hm.seconds();
+    this->report_.h2d_bytes += launcher_->metadata_bytes();
+    this->report_.h2d_s += launcher_->metadata_upload_s();
+    this->report_.device_bytes =
+        dev_csr_.bytes() + launcher_->metadata_bytes();
+  }
+
+  mat::index_t rows() const override { return host_.rows; }
+  mat::index_t cols() const override { return host_.cols; }
+  mat::offset_t nnz() const override { return host_.nnz(); }
+
+  const Binning& binning() const { return launcher_->binning(); }
+  int bin_grids() const { return launcher_->bin_grids(); }
+  int row_grids() const { return launcher_->row_grids(); }
+  bool dynamic_parallelism_active() const { return row_grids() > 0; }
+
+  void apply(const std::vector<T>& x, std::vector<T>& y) const override {
+    host_.spmv(x, y);
+  }
+
+  double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
+    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
+    x_dev.host() = x;
+    auto y_dev = this->dev_.template alloc<T>(
+        static_cast<std::size_t>(host_.rows), "y");
+    const auto nrows = static_cast<std::size_t>(host_.rows);
+    const double t = launcher_->run(
+        dev_csr_.row_off.cspan().subspan(0, nrows),
+        dev_csr_.row_off.cspan().subspan(1, nrows), dev_csr_.col_idx.cspan(),
+        dev_csr_.vals.cspan(), x_dev.cspan(), y_dev.span(),
+        &this->report_.last_run);
+    y = y_dev.host();
+    return t;
+  }
+
+ private:
+  mat::Csr<T> host_;
+  spmv::CsrDevice<T> dev_csr_;
+  std::optional<AcsrLauncher<T>> launcher_;
+};
+
+}  // namespace acsr::core

@@ -1,0 +1,77 @@
+// ACSR parameter auto-tuner — an extension the paper leaves as manual
+// knobs: BinMax (the bin-kernel / dynamic-parallelism handover), RowMax
+// (the child-grid cap) and ThreadLoad (child coarsening) are searched with
+// a handful of trial SpMVs. Crucially — and unlike the BCCOO/TCOO tuners
+// of Table III — a trial only rebuilds the O(rows) *metadata*, never the
+// matrix, so the whole search costs tens of SpMVs, preserving ACSR's
+// dynamic-graph viability.
+#pragma once
+
+#include "core/acsr_engine.hpp"
+
+namespace acsr::core {
+
+struct AcsrTuneResult {
+  AcsrOptions best;
+  double best_spmv_s = 0.0;
+  double tuning_cost_s = 0.0;  // simulated cost of the search itself
+  int trials = 0;
+};
+
+/// Search over BinMax x ThreadLoad (RowMax fixed at the device pending-
+/// launch limit, which never hurts). Candidate grids are evaluated with
+/// one trial SpMV each; the device's dynamic-parallelism support prunes
+/// the DP dimensions automatically.
+template <class T>
+AcsrTuneResult autotune_acsr(vgpu::Device& dev, const mat::Csr<T>& a,
+                             AcsrOptions base = {}) {
+  AcsrTuneResult res;
+  res.best = base;
+
+  std::vector<T> x(static_cast<std::size_t>(a.cols), T{1});
+  auto x_dev = dev.alloc<T>(x.size(), "tune.x");
+  x_dev.host() = x;
+  auto y_dev = dev.alloc<T>(static_cast<std::size_t>(a.rows), "tune.y");
+
+  // The CSR arrays are shared by every trial — ACSR's defining property.
+  const auto dev_csr = spmv::CsrDevice<T>::upload(dev, a, "tune.csr");
+  const auto nrows = static_cast<std::size_t>(a.rows);
+
+  const bool dp = dev.spec().supports_dynamic_parallelism() &&
+                  base.binning.enable_dp;
+  const std::vector<int> bin_maxes =
+      dp ? std::vector<int>{5, 7, 8, 10, 12} : std::vector<int>{8};
+  const std::vector<int> thread_loads =
+      dp ? std::vector<int>{2, 8, 32} : std::vector<int>{8};
+
+  double best_t = -1.0;
+  for (int bm : bin_maxes) {
+    for (int tl : thread_loads) {
+      AcsrOptions opt = base;
+      opt.binning.bin_max = bm;
+      opt.binning.row_max = dev.spec().pending_launch_limit;
+      opt.thread_load = tl;
+
+      vgpu::HostModel hm;
+      Binning b = bin_matrix(a, dev, opt.binning, &hm);
+      AcsrLauncher<T> launcher(dev, std::move(b), opt);
+      const double t = launcher.run(
+          dev_csr.row_off.cspan().subspan(0, nrows),
+          dev_csr.row_off.cspan().subspan(1, nrows),
+          dev_csr.col_idx.cspan(), dev_csr.vals.cspan(), x_dev.cspan(),
+          y_dev.span());
+      res.tuning_cost_s +=
+          hm.seconds() + launcher.metadata_upload_s() + t;
+      ++res.trials;
+      if (best_t < 0.0 || t < best_t) {
+        best_t = t;
+        res.best = opt;
+      }
+      if (!dp) break;  // the inner dimension is DP-only
+    }
+  }
+  res.best_spmv_s = best_t;
+  return res;
+}
+
+}  // namespace acsr::core

@@ -1,0 +1,63 @@
+#include "core/binning.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace acsr::core {
+
+Binning Binning::build(const std::vector<mat::offset_t>& row_nnz,
+                       const BinningOptions& opt, vgpu::HostModel* hm) {
+  ACSR_CHECK(opt.bin_max >= 1);
+  ACSR_CHECK(opt.row_max >= 0);
+
+  Binning b;
+  b.options = opt;
+  const bool dp = opt.enable_dp && opt.row_max > 0;
+
+  for (std::size_t r = 0; r < row_nnz.size(); ++r) {
+    const auto n = row_nnz[r];
+    ACSR_CHECK(n >= 0);
+    if (n == 0) continue;  // empty rows produce no work
+    const std::size_t bin =
+        Log2Histogram::bucket_of(static_cast<std::uint64_t>(n));
+    if (dp && bin > static_cast<std::size_t>(opt.bin_max)) {
+      b.dp_rows.push_back(static_cast<mat::index_t>(r));
+    } else {
+      if (b.bins.size() <= bin) b.bins.resize(bin + 1);
+      b.bins[bin].push_back(static_cast<mat::index_t>(r));
+    }
+  }
+
+  if (dp && !b.dp_rows.empty()) {
+    // Longest rows first; overflow beyond RowMax falls back to the widest
+    // bin-specific kernel so the pending-launch limit is never exceeded.
+    std::stable_sort(b.dp_rows.begin(), b.dp_rows.end(),
+                     [&](mat::index_t p, mat::index_t q) {
+                       return row_nnz[static_cast<std::size_t>(p)] >
+                              row_nnz[static_cast<std::size_t>(q)];
+                     });
+    if (b.dp_rows.size() > static_cast<std::size_t>(opt.row_max)) {
+      for (std::size_t i = static_cast<std::size_t>(opt.row_max);
+           i < b.dp_rows.size(); ++i) {
+        const auto r = static_cast<std::size_t>(b.dp_rows[i]);
+        const std::size_t bin = Log2Histogram::bucket_of(
+            static_cast<std::uint64_t>(row_nnz[r]));
+        if (b.bins.size() <= bin) b.bins.resize(bin + 1);
+        b.bins[bin].push_back(b.dp_rows[i]);
+      }
+      b.dp_rows.resize(static_cast<std::size_t>(opt.row_max));
+    }
+  }
+
+  if (hm != nullptr) {
+    // One read + one append per row, plus the (short) tail sort.
+    const double n = static_cast<double>(row_nnz.size());
+    const double tail = static_cast<double>(b.dp_rows.size());
+    hm->charge_ops(2.0 * n + tail * std::max(1.0, std::log2(tail + 2.0)));
+  }
+  return b;
+}
+
+}  // namespace acsr::core

@@ -1,0 +1,78 @@
+// Engine factory: build any SpMV engine by name. Sits in core (the top of
+// the library stack) because it knows both the baselines and ACSR.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/acsr_engine.hpp"
+#include "spmv/bccoo_engine.hpp"
+#include "spmv/bcsr_engine.hpp"
+#include "spmv/brc_engine.hpp"
+#include "spmv/coo_engine.hpp"
+#include "spmv/csr_scalar.hpp"
+#include "spmv/csr_vector.hpp"
+#include "spmv/ell_engine.hpp"
+#include "spmv/hyb_engine.hpp"
+#include "spmv/merge_csr_engine.hpp"
+#include "spmv/sell_engine.hpp"
+#include "spmv/sic_engine.hpp"
+#include "spmv/tcoo_engine.hpp"
+
+namespace acsr::core {
+
+struct EngineConfig {
+  /// HYB's ELL/COO split threshold population (4096 on real hardware;
+  /// benches scale it with the corpus).
+  mat::index_t hyb_breakeven = 4096;
+  /// BCSR tile edge length.
+  int bcsr_block = 2;
+  /// SELL-C-sigma sorting-window size (multiple of 32).
+  mat::index_t sell_sigma = 256;
+  AcsrOptions acsr;
+};
+
+/// Known names: csr-scalar, csr (cuSPARSE warp-per-row), csr-vector
+/// (CUSP-adaptive), ell, coo, hyb, brc, bccoo, tcoo, sic, bcsr, sell
+/// (SELL-C-sigma), merge-csr (Merrill-Garland style), acsr, acsr-binning
+/// (dynamic parallelism off).
+template <class T>
+std::unique_ptr<spmv::SpmvEngine<T>> make_engine(const std::string& name,
+                                                 vgpu::Device& dev,
+                                                 const mat::Csr<T>& a,
+                                                 EngineConfig cfg = {}) {
+  if (name == "csr-scalar")
+    return std::make_unique<spmv::CsrScalarEngine<T>>(dev, a);
+  if (name == "csr-vector")
+    return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a);
+  // The paper's "CSR" series: cuSPARSE-era csrmv with a fixed warp (32
+  // lanes) per row, which refetches sectors shared by adjacent short rows
+  // from different warps — the real penalty on power-law matrices.
+  if (name == "csr" || name == "csr-cusparse")
+    return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a, 32);
+  if (name == "ell") return std::make_unique<spmv::EllEngine<T>>(dev, a);
+  if (name == "coo") return std::make_unique<spmv::CooEngine<T>>(dev, a);
+  if (name == "hyb")
+    return std::make_unique<spmv::HybEngine<T>>(dev, a, cfg.hyb_breakeven);
+  if (name == "brc") return std::make_unique<spmv::BrcEngine<T>>(dev, a);
+  if (name == "bccoo")
+    return std::make_unique<spmv::BccooEngine<T>>(dev, a);
+  if (name == "tcoo") return std::make_unique<spmv::TcooEngine<T>>(dev, a);
+  if (name == "sic") return std::make_unique<spmv::SicEngine<T>>(dev, a);
+  if (name == "merge-csr")
+    return std::make_unique<spmv::MergeCsrEngine<T>>(dev, a);
+  if (name == "sell")
+    return std::make_unique<spmv::SellEngine<T>>(dev, a, cfg.sell_sigma);
+  if (name == "bcsr")
+    return std::make_unique<spmv::BcsrEngine<T>>(dev, a, cfg.bcsr_block);
+  if (name == "acsr")
+    return std::make_unique<AcsrEngine<T>>(dev, a, cfg.acsr);
+  if (name == "acsr-binning") {
+    AcsrOptions o = cfg.acsr;
+    o.binning.enable_dp = false;
+    return std::make_unique<AcsrEngine<T>>(dev, a, o);
+  }
+  ACSR_REQUIRE(false, "unknown SpMV engine '" << name << "'");
+}
+
+}  // namespace acsr::core

@@ -1,0 +1,182 @@
+// Dynamic-graph update batches (paper section VII).
+//
+// An update selects a fraction of the rows; for each selected row it
+// deletes some existing columns and inserts new ones with equal
+// probability, keeping total nnz roughly constant. The batch is encoded
+// CSR-style (sorted per-row delete and insert lists) — exactly what the
+// paper's device-side update kernel consumes — and bytes() gives the size
+// of the change list that must cross PCIe instead of the whole matrix.
+#pragma once
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mat/csr.hpp"
+
+namespace acsr::graph {
+
+template <class T>
+struct UpdateBatch {
+  std::vector<mat::index_t> rows;     // updated rows, ascending
+  std::vector<mat::offset_t> del_off; // rows.size() + 1
+  std::vector<mat::index_t> del_cols; // sorted within each row
+  std::vector<mat::offset_t> ins_off; // rows.size() + 1
+  std::vector<mat::index_t> ins_cols; // sorted within each row
+  std::vector<T> ins_vals;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_deletes() const { return del_cols.size(); }
+  std::size_t num_inserts() const { return ins_cols.size(); }
+
+  /// Host->device size of the change list.
+  std::size_t bytes() const {
+    return rows.size() * sizeof(mat::index_t) +
+           (del_off.size() + ins_off.size()) * sizeof(mat::offset_t) +
+           (del_cols.size() + ins_cols.size()) * sizeof(mat::index_t) +
+           ins_vals.size() * sizeof(T);
+  }
+
+  void validate() const {
+    ACSR_CHECK(del_off.size() == rows.size() + 1);
+    ACSR_CHECK(ins_off.size() == rows.size() + 1);
+    ACSR_CHECK(std::is_sorted(rows.begin(), rows.end()));
+    ACSR_CHECK(del_off.back() == static_cast<mat::offset_t>(del_cols.size()));
+    ACSR_CHECK(ins_off.back() == static_cast<mat::offset_t>(ins_cols.size()));
+    ACSR_CHECK(ins_vals.size() == ins_cols.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ACSR_CHECK(std::is_sorted(del_cols.begin() + del_off[i],
+                                del_cols.begin() + del_off[i + 1]));
+      ACSR_CHECK(std::is_sorted(ins_cols.begin() + ins_off[i],
+                                ins_cols.begin() + ins_off[i + 1]));
+    }
+  }
+};
+
+struct UpdateParams {
+  double row_fraction = 0.10;   // the paper updates 10% of rows
+  double change_probability = 0.5;  // chance each scanned nonzero mutates
+  std::uint64_t seed = 7;
+};
+
+/// Generate a batch against the current matrix. For each selected row we
+/// scan its columns; a scanned column is, with change_probability, either
+/// removed or answered with an insertion of a fresh random column (equal
+/// odds), which keeps nnz approximately constant as in the paper.
+template <class T>
+UpdateBatch<T> generate_update(const mat::Csr<T>& a, const UpdateParams& p) {
+  UpdateBatch<T> b;
+  Rng rng(p.seed);
+  const auto n_updated = static_cast<std::size_t>(
+      p.row_fraction * static_cast<double>(a.rows));
+
+  // Choose distinct rows, ascending.
+  std::unordered_set<mat::index_t> chosen;
+  while (chosen.size() < n_updated) {
+    chosen.insert(static_cast<mat::index_t>(
+        rng.next_below(static_cast<std::uint64_t>(a.rows))));
+  }
+  b.rows.assign(chosen.begin(), chosen.end());
+  std::sort(b.rows.begin(), b.rows.end());
+
+  b.del_off.push_back(0);
+  b.ins_off.push_back(0);
+  for (mat::index_t r : b.rows) {
+    Rng rr = rng.split(static_cast<std::uint64_t>(r) + 1);
+    std::vector<mat::index_t> dels;
+    std::vector<mat::index_t> inss;
+    std::unordered_set<mat::index_t> present;
+    for (mat::offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i)
+      present.insert(a.col_idx[static_cast<std::size_t>(i)]);
+
+    for (mat::offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+      if (!rr.next_bool(p.change_probability)) continue;
+      const mat::index_t c = a.col_idx[static_cast<std::size_t>(i)];
+      if (rr.next_bool(0.5)) {
+        dels.push_back(c);
+        present.erase(c);
+      } else {
+        // Insert a fresh column not currently in the row.
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const auto nc = static_cast<mat::index_t>(
+              rr.next_below(static_cast<std::uint64_t>(a.cols)));
+          if (present.insert(nc).second) {
+            inss.push_back(nc);
+            break;
+          }
+        }
+      }
+    }
+    std::sort(dels.begin(), dels.end());
+    dels.erase(std::unique(dels.begin(), dels.end()), dels.end());
+    std::sort(inss.begin(), inss.end());
+    inss.erase(std::unique(inss.begin(), inss.end()), inss.end());
+
+    for (mat::index_t c : dels) b.del_cols.push_back(c);
+    for (mat::index_t c : inss) {
+      b.ins_cols.push_back(c);
+      b.ins_vals.push_back(static_cast<T>(0.5 + 0.5 * rr.next_double()));
+    }
+    b.del_off.push_back(static_cast<mat::offset_t>(b.del_cols.size()));
+    b.ins_off.push_back(static_cast<mat::offset_t>(b.ins_cols.size()));
+  }
+  b.validate();
+  return b;
+}
+
+/// Host reference: apply the batch to a CSR matrix (rebuilds the arrays).
+/// The device-side incremental kernel in core/ must produce a matrix with
+/// identical logical content.
+template <class T>
+void apply_update_host(mat::Csr<T>& a, const UpdateBatch<T>& b) {
+  mat::Csr<T> out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.row_off.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+
+  std::size_t bi = 0;  // cursor into b.rows
+  for (mat::index_t r = 0; r < a.rows; ++r) {
+    const auto lo = a.row_off[static_cast<std::size_t>(r)];
+    const auto hi = a.row_off[static_cast<std::size_t>(r) + 1];
+    if (bi < b.rows.size() && b.rows[bi] == r) {
+      const auto d0 = static_cast<std::size_t>(b.del_off[bi]);
+      const auto d1 = static_cast<std::size_t>(b.del_off[bi + 1]);
+      const auto i0 = static_cast<std::size_t>(b.ins_off[bi]);
+      const auto i1 = static_cast<std::size_t>(b.ins_off[bi + 1]);
+      // Merge: keep entries not in the delete list, then merge inserts.
+      std::vector<std::pair<mat::index_t, T>> merged;
+      for (mat::offset_t i = lo; i < hi; ++i) {
+        const mat::index_t c = a.col_idx[static_cast<std::size_t>(i)];
+        const bool deleted = std::binary_search(
+            b.del_cols.begin() + static_cast<std::ptrdiff_t>(d0),
+            b.del_cols.begin() + static_cast<std::ptrdiff_t>(d1), c);
+        if (!deleted)
+          merged.emplace_back(c, a.vals[static_cast<std::size_t>(i)]);
+      }
+      for (std::size_t i = i0; i < i1; ++i)
+        merged.emplace_back(b.ins_cols[i], b.ins_vals[i]);
+      std::sort(merged.begin(), merged.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (const auto& [c, v] : merged) {
+        out.col_idx.push_back(c);
+        out.vals.push_back(v);
+      }
+      ++bi;
+    } else {
+      for (mat::offset_t i = lo; i < hi; ++i) {
+        out.col_idx.push_back(a.col_idx[static_cast<std::size_t>(i)]);
+        out.vals.push_back(a.vals[static_cast<std::size_t>(i)]);
+      }
+    }
+    out.row_off[static_cast<std::size_t>(r) + 1] =
+        static_cast<mat::offset_t>(out.col_idx.size());
+  }
+  out.validate();
+  a = std::move(out);
+}
+
+}  // namespace acsr::graph

@@ -1,0 +1,27 @@
+// Classic R-MAT (Chakrabarti et al.) recursive edge generator. Produces
+// the skewed, community-structured adjacency matrices typical of web and
+// social graphs; used by examples and property tests.
+#pragma once
+
+#include "common/rng.hpp"
+#include "mat/coo.hpp"
+
+namespace acsr::graph {
+
+struct RmatParams {
+  int scale = 12;                 // 2^scale vertices
+  double edges_per_vertex = 8.0;  // average degree
+  // Partition probabilities; a + b + c + d = 1. The canonical skewed
+  // setting (.57,.19,.19,.05) yields power-law-ish degrees.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  std::uint64_t seed = 1;
+  bool remove_duplicates = true;
+};
+
+/// Generate the adjacency matrix of an R-MAT graph (values all 1.0).
+mat::Coo<double> rmat(const RmatParams& p);
+
+}  // namespace acsr::graph

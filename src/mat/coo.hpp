@@ -1,0 +1,109 @@
+// Coordinate (COO) format: one (row, col, value) triplet per non-zero.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mat/types.hpp"
+#include "vgpu/host_model.hpp"
+
+namespace acsr::mat {
+
+template <class T>
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<T> vals;
+
+  offset_t nnz() const { return static_cast<offset_t>(vals.size()); }
+
+  void reserve(std::size_t n) {
+    row_idx.reserve(n);
+    col_idx.reserve(n);
+    vals.reserve(n);
+  }
+
+  void push(index_t r, index_t c, T v) {
+    ACSR_CHECK_MSG(r >= 0 && r < rows && c >= 0 && c < cols,
+                   "entry (" << r << ',' << c << ") outside " << rows << 'x'
+                             << cols);
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    vals.push_back(v);
+  }
+
+  bool is_sorted() const {
+    for (std::size_t i = 1; i < vals.size(); ++i) {
+      if (row_idx[i - 1] > row_idx[i]) return false;
+      if (row_idx[i - 1] == row_idx[i] && col_idx[i - 1] > col_idx[i])
+        return false;
+    }
+    return true;
+  }
+
+  /// Sort by (row, col). Charges n log n element moves to the host model.
+  void sort(vgpu::HostModel* hm = nullptr) {
+    const std::size_t n = vals.size();
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+      return col_idx[a] < col_idx[b];
+    });
+    apply_permutation(perm);
+    if (hm != nullptr && n > 1) {
+      const double logn = std::log2(static_cast<double>(n));
+      hm->charge_ops(static_cast<double>(n) * logn + 3.0 * static_cast<double>(n));
+    }
+  }
+
+  /// Merge duplicate (row, col) entries by summing. Requires sorted input.
+  void sum_duplicates() {
+    ACSR_CHECK(is_sorted());
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (w > 0 && row_idx[w - 1] == row_idx[i] &&
+          col_idx[w - 1] == col_idx[i]) {
+        vals[w - 1] += vals[i];
+      } else {
+        row_idx[w] = row_idx[i];
+        col_idx[w] = col_idx[i];
+        vals[w] = vals[i];
+        ++w;
+      }
+    }
+    row_idx.resize(w);
+    col_idx.resize(w);
+    vals.resize(w);
+  }
+
+  /// Host reference SpMV: y = A x (y must be zero-initialised by caller or
+  /// use accumulate=false to overwrite).
+  void spmv(const std::vector<T>& x, std::vector<T>& y) const {
+    ACSR_CHECK(static_cast<index_t>(x.size()) == cols);
+    y.assign(static_cast<std::size_t>(rows), T{0});
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      y[static_cast<std::size_t>(row_idx[i])] +=
+          vals[i] * x[static_cast<std::size_t>(col_idx[i])];
+  }
+
+ private:
+  void apply_permutation(const std::vector<std::size_t>& perm) {
+    std::vector<index_t> r(perm.size()), c(perm.size());
+    std::vector<T> v(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      r[i] = row_idx[perm[i]];
+      c[i] = col_idx[perm[i]];
+      v[i] = vals[perm[i]];
+    }
+    row_idx = std::move(r);
+    col_idx = std::move(c);
+    vals = std::move(v);
+  }
+};
+
+}  // namespace acsr::mat

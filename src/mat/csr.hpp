@@ -1,0 +1,224 @@
+// Compressed Sparse Row — the library's canonical format (as in the paper:
+// the format ACSR works on directly, with no data restructuring).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "mat/coo.hpp"
+#include "mat/types.hpp"
+#include "vgpu/host_model.hpp"
+
+namespace acsr::mat {
+
+/// Row-length statistics: the mu / sigma / max columns of Table I.
+struct RowStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  offset_t max = 0;
+  Log2Histogram histogram;  // Fig. 3, and the ACSR bin populations
+};
+
+template <class T>
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<offset_t> row_off;  // rows + 1 entries
+  std::vector<index_t> col_idx;
+  std::vector<T> vals;
+
+  offset_t nnz() const { return static_cast<offset_t>(vals.size()); }
+  offset_t row_nnz(index_t r) const {
+    return row_off[static_cast<std::size_t>(r) + 1] -
+           row_off[static_cast<std::size_t>(r)];
+  }
+
+  /// Memory footprint of the device-resident arrays.
+  std::size_t bytes() const {
+    return row_off.size() * sizeof(offset_t) +
+           col_idx.size() * sizeof(index_t) + vals.size() * sizeof(T);
+  }
+
+  /// Structural invariants; used by tests and after dynamic updates.
+  void validate() const {
+    ACSR_CHECK(rows >= 0 && cols >= 0);
+    ACSR_CHECK(row_off.size() == static_cast<std::size_t>(rows) + 1);
+    ACSR_CHECK(row_off.front() == 0);
+    ACSR_CHECK(row_off.back() == nnz());
+    for (std::size_t r = 0; r + 1 < row_off.size(); ++r)
+      ACSR_CHECK_MSG(row_off[r] <= row_off[r + 1], "row " << r);
+    ACSR_CHECK(col_idx.size() == vals.size());
+    for (index_t c : col_idx) ACSR_CHECK(c >= 0 && c < cols);
+  }
+
+  /// True when every row's column indices are strictly increasing (required
+  /// by the dynamic-update kernel's sorted-merge).
+  bool rows_sorted() const {
+    for (index_t r = 0; r < rows; ++r)
+      for (offset_t i = row_off[static_cast<std::size_t>(r)] + 1;
+           i < row_off[static_cast<std::size_t>(r) + 1]; ++i)
+        if (col_idx[static_cast<std::size_t>(i)] <=
+            col_idx[static_cast<std::size_t>(i) - 1])
+          return false;
+    return true;
+  }
+
+  /// Build from COO. Sorts a copy if needed. Charges one pass over the
+  /// data to the host model — this is the (cheap) cost the paper credits
+  /// to CSR-based schemes.
+  static Csr from_coo(const Coo<T>& coo, vgpu::HostModel* hm = nullptr) {
+    Coo<T> sorted_copy;
+    const Coo<T>* src = &coo;
+    if (!coo.is_sorted()) {
+      sorted_copy = coo;
+      sorted_copy.sort(hm);
+      src = &sorted_copy;
+    }
+    Csr m;
+    m.rows = src->rows;
+    m.cols = src->cols;
+    m.row_off.assign(static_cast<std::size_t>(src->rows) + 1, 0);
+    for (index_t r : src->row_idx)
+      ++m.row_off[static_cast<std::size_t>(r) + 1];
+    for (std::size_t r = 1; r < m.row_off.size(); ++r)
+      m.row_off[r] += m.row_off[r - 1];
+    m.col_idx = src->col_idx;
+    m.vals = src->vals;
+    if (hm != nullptr)
+      hm->charge_ops(static_cast<double>(src->nnz()) +
+                     static_cast<double>(src->rows));
+    return m;
+  }
+
+  Coo<T> to_coo() const {
+    Coo<T> coo;
+    coo.rows = rows;
+    coo.cols = cols;
+    coo.reserve(vals.size());
+    for (index_t r = 0; r < rows; ++r)
+      for (offset_t i = row_off[static_cast<std::size_t>(r)];
+           i < row_off[static_cast<std::size_t>(r) + 1]; ++i)
+        coo.push(r, col_idx[static_cast<std::size_t>(i)],
+                 vals[static_cast<std::size_t>(i)]);
+    return coo;
+  }
+
+  /// Host reference SpMV: y = A x.
+  void spmv(const std::vector<T>& x, std::vector<T>& y) const {
+    ACSR_CHECK(static_cast<index_t>(x.size()) == cols);
+    y.assign(static_cast<std::size_t>(rows), T{0});
+    for (index_t r = 0; r < rows; ++r) {
+      T sum{0};
+      for (offset_t i = row_off[static_cast<std::size_t>(r)];
+           i < row_off[static_cast<std::size_t>(r) + 1]; ++i)
+        sum += vals[static_cast<std::size_t>(i)] *
+               x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(i)])];
+      y[static_cast<std::size_t>(r)] = sum;
+    }
+  }
+
+  /// A^T, built with a counting pass (used by PageRank/HITS/RWR setup).
+  Csr transpose(vgpu::HostModel* hm = nullptr) const {
+    Csr t;
+    t.rows = cols;
+    t.cols = rows;
+    t.row_off.assign(static_cast<std::size_t>(cols) + 1, 0);
+    for (index_t c : col_idx) ++t.row_off[static_cast<std::size_t>(c) + 1];
+    for (std::size_t r = 1; r < t.row_off.size(); ++r)
+      t.row_off[r] += t.row_off[r - 1];
+    t.col_idx.resize(col_idx.size());
+    t.vals.resize(vals.size());
+    std::vector<offset_t> cursor(t.row_off.begin(), t.row_off.end() - 1);
+    for (index_t r = 0; r < rows; ++r)
+      for (offset_t i = row_off[static_cast<std::size_t>(r)];
+           i < row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+        const auto c = static_cast<std::size_t>(
+            col_idx[static_cast<std::size_t>(i)]);
+        const auto w = static_cast<std::size_t>(cursor[c]++);
+        t.col_idx[w] = r;
+        t.vals[w] = vals[static_cast<std::size_t>(i)];
+      }
+    if (hm != nullptr) hm->charge_ops(2.0 * static_cast<double>(nnz()));
+    return t;
+  }
+
+  /// Scale each row to sum 1 (PageRank's row-normalised adjacency matrix).
+  /// Zero rows (dangling nodes) are left untouched.
+  void row_normalize() {
+    for (index_t r = 0; r < rows; ++r) {
+      T sum{0};
+      for (offset_t i = row_off[static_cast<std::size_t>(r)];
+           i < row_off[static_cast<std::size_t>(r) + 1]; ++i)
+        sum += vals[static_cast<std::size_t>(i)];
+      if (sum != T{0})
+        for (offset_t i = row_off[static_cast<std::size_t>(r)];
+             i < row_off[static_cast<std::size_t>(r) + 1]; ++i)
+          vals[static_cast<std::size_t>(i)] /= sum;
+    }
+  }
+
+  /// Scale each column to sum 1 (RWR's column-normalised W).
+  void col_normalize() {
+    std::vector<T> sums(static_cast<std::size_t>(cols), T{0});
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      sums[static_cast<std::size_t>(col_idx[i])] += vals[i];
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const T s = sums[static_cast<std::size_t>(col_idx[i])];
+      if (s != T{0}) vals[i] /= s;
+    }
+  }
+
+  RowStats row_stats() const {
+    RowStats s;
+    RunningStats rs;
+    for (index_t r = 0; r < rows; ++r) {
+      const offset_t n = row_nnz(r);
+      rs.add(static_cast<double>(n));
+      s.histogram.add(static_cast<std::uint64_t>(n));
+      if (n > s.max) s.max = n;
+    }
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    return s;
+  }
+};
+
+/// The paper's HITS formulation (Eq. 7): the combined 2n x 2n matrix
+/// [[0, A^T], [A, 0]] so that one SpMV updates both authority and hub.
+template <class T>
+Csr<T> make_hits_matrix(const Csr<T>& a) {
+  ACSR_CHECK_MSG(a.rows == a.cols, "HITS needs a square adjacency matrix");
+  const Csr<T> at = a.transpose();
+  const index_t n = a.rows;
+  Csr<T> h;
+  h.rows = 2 * n;
+  h.cols = 2 * n;
+  h.row_off.assign(static_cast<std::size_t>(h.rows) + 1, 0);
+  h.col_idx.reserve(2 * static_cast<std::size_t>(a.nnz()));
+  h.vals.reserve(2 * static_cast<std::size_t>(a.nnz()));
+  // Top block rows: [0, A^T] — columns shifted by n.
+  for (index_t r = 0; r < n; ++r) {
+    for (offset_t i = at.row_off[static_cast<std::size_t>(r)];
+         i < at.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+      h.col_idx.push_back(at.col_idx[static_cast<std::size_t>(i)] + n);
+      h.vals.push_back(at.vals[static_cast<std::size_t>(i)]);
+    }
+    h.row_off[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(h.col_idx.size());
+  }
+  // Bottom block rows: [A, 0].
+  for (index_t r = 0; r < n; ++r) {
+    for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+      h.col_idx.push_back(a.col_idx[static_cast<std::size_t>(i)]);
+      h.vals.push_back(a.vals[static_cast<std::size_t>(i)]);
+    }
+    h.row_off[static_cast<std::size_t>(n + r) + 1] =
+        static_cast<offset_t>(h.col_idx.size());
+  }
+  return h;
+}
+
+}  // namespace acsr::mat

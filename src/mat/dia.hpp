@@ -1,0 +1,79 @@
+// Diagonal (DIA) format — included for completeness with the format suite
+// the paper surveys (cuSPARSE/CUSP support DIA for banded matrices). Not a
+// power-law contender; used in tests and the format-explorer example to
+// show why structure dictates format choice.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mat/csr.hpp"
+#include "mat/types.hpp"
+
+namespace acsr::mat {
+
+template <class T>
+struct Dia {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> offsets;  // diagonal offsets (col - row), ascending
+  // vals[d * rows + r] = A(r, r + offsets[d]); zero-filled out of band.
+  std::vector<T> vals;
+
+  std::size_t bytes() const {
+    return offsets.size() * sizeof(index_t) + vals.size() * sizeof(T);
+  }
+
+  /// Build from CSR. Throws InputError when the matrix has more distinct
+  /// diagonals than `max_diags` (unstructured matrices explode in DIA).
+  static Dia from_csr(const Csr<T>& a, std::size_t max_diags = 64) {
+    std::map<index_t, std::size_t> diag_index;
+    for (index_t r = 0; r < a.rows; ++r)
+      for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+           i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+        const index_t off = a.col_idx[static_cast<std::size_t>(i)] - r;
+        diag_index.emplace(off, 0);
+        ACSR_REQUIRE(diag_index.size() <= max_diags,
+                     "matrix has more than " << max_diags
+                                             << " diagonals; DIA unsuitable");
+      }
+    Dia d;
+    d.rows = a.rows;
+    d.cols = a.cols;
+    d.offsets.reserve(diag_index.size());
+    for (auto& [off, idx] : diag_index) {
+      idx = d.offsets.size();
+      d.offsets.push_back(off);
+    }
+    d.vals.assign(d.offsets.size() * static_cast<std::size_t>(a.rows), T{0});
+    for (index_t r = 0; r < a.rows; ++r)
+      for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+           i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+        const index_t off = a.col_idx[static_cast<std::size_t>(i)] - r;
+        const std::size_t di = diag_index[off];
+        d.vals[di * static_cast<std::size_t>(a.rows) +
+               static_cast<std::size_t>(r)] =
+            a.vals[static_cast<std::size_t>(i)];
+      }
+    return d;
+  }
+
+  void spmv(const std::vector<T>& x, std::vector<T>& y) const {
+    ACSR_CHECK(static_cast<index_t>(x.size()) == cols);
+    y.assign(static_cast<std::size_t>(rows), T{0});
+    for (std::size_t d = 0; d < offsets.size(); ++d) {
+      const index_t off = offsets[d];
+      for (index_t r = 0; r < rows; ++r) {
+        const index_t c = r + off;
+        if (c < 0 || c >= cols) continue;
+        y[static_cast<std::size_t>(r)] +=
+            vals[d * static_cast<std::size_t>(rows) +
+                 static_cast<std::size_t>(r)] *
+            x[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+};
+
+}  // namespace acsr::mat

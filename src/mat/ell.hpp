@@ -1,0 +1,111 @@
+// ELLPACK format: every row padded to the same width K, stored
+// column-major so that lane-adjacent rows read adjacent memory
+// (the coalescing-friendly layout the GPU kernels rely on).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "mat/csr.hpp"
+#include "mat/types.hpp"
+#include "vgpu/host_model.hpp"
+
+namespace acsr::mat {
+
+template <class T>
+struct Ell {
+  static constexpr index_t kPad = -1;  // column sentinel for padding slots
+
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t width = 0;  // K: entries per row after padding
+  // Column-major: slot j of row r lives at [j * rows + r].
+  std::vector<index_t> col_idx;
+  std::vector<T> vals;
+
+  std::size_t slots() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(width);
+  }
+  std::size_t bytes() const {
+    return col_idx.size() * sizeof(index_t) + vals.size() * sizeof(T);
+  }
+
+  /// Count of real (non-padding) entries.
+  offset_t nnz() const {
+    offset_t n = 0;
+    for (index_t c : col_idx)
+      if (c != kPad) ++n;
+    return n;
+  }
+
+  /// Fraction of slots that are padding (the paper's padding cost).
+  double padding_ratio() const {
+    return slots() == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(nnz()) /
+                           static_cast<double>(slots());
+  }
+
+  /// Build from CSR using width = max row length (pure ELL). Throws
+  /// InputError if the padded size would be absurd (max row much larger
+  /// than the mean makes pure ELL infeasible — that is HYB's raison d'etre).
+  static Ell from_csr(const Csr<T>& a, vgpu::HostModel* hm = nullptr,
+                      double max_expansion = 20.0) {
+    offset_t k = 0;
+    for (index_t r = 0; r < a.rows; ++r) k = std::max(k, a.row_nnz(r));
+    const double expansion =
+        a.nnz() == 0 ? 1.0
+                     : static_cast<double>(k) * static_cast<double>(a.rows) /
+                           static_cast<double>(a.nnz());
+    ACSR_REQUIRE(expansion <= max_expansion,
+                 "ELL expansion factor " << expansion << " exceeds "
+                                         << max_expansion
+                                         << "; use HYB for this matrix");
+    return from_csr_with_width(a, static_cast<index_t>(k), hm);
+  }
+
+  /// Build the first min(row_nnz, width) entries of each row; the caller
+  /// (HYB) handles the overflow separately.
+  static Ell from_csr_with_width(const Csr<T>& a, index_t width,
+                                 vgpu::HostModel* hm = nullptr) {
+    Ell e;
+    e.rows = a.rows;
+    e.cols = a.cols;
+    e.width = width;
+    e.col_idx.assign(e.slots(), kPad);
+    e.vals.assign(e.slots(), T{0});
+    for (index_t r = 0; r < a.rows; ++r) {
+      const offset_t base = a.row_off[static_cast<std::size_t>(r)];
+      const offset_t n = std::min<offset_t>(a.row_nnz(r), width);
+      for (offset_t j = 0; j < n; ++j) {
+        const std::size_t slot = static_cast<std::size_t>(j) *
+                                     static_cast<std::size_t>(e.rows) +
+                                 static_cast<std::size_t>(r);
+        e.col_idx[slot] = a.col_idx[static_cast<std::size_t>(base + j)];
+        e.vals[slot] = a.vals[static_cast<std::size_t>(base + j)];
+      }
+    }
+    // Transformation touches every slot (including padding) — that is the
+    // setup cost the paper attributes to padded formats.
+    if (hm != nullptr) hm->charge_ops(2.0 * static_cast<double>(e.slots()));
+    return e;
+  }
+
+  /// Host reference SpMV: y = A x.
+  void spmv(const std::vector<T>& x, std::vector<T>& y) const {
+    ACSR_CHECK(static_cast<index_t>(x.size()) == cols);
+    y.assign(static_cast<std::size_t>(rows), T{0});
+    for (index_t j = 0; j < width; ++j)
+      for (index_t r = 0; r < rows; ++r) {
+        const std::size_t slot = static_cast<std::size_t>(j) *
+                                     static_cast<std::size_t>(rows) +
+                                 static_cast<std::size_t>(r);
+        const index_t c = col_idx[slot];
+        if (c != kPad)
+          y[static_cast<std::size_t>(r)] +=
+              vals[slot] * x[static_cast<std::size_t>(c)];
+      }
+  }
+};
+
+}  // namespace acsr::mat

@@ -1,0 +1,97 @@
+// HYB = ELL + COO hybrid (Bell & Garland): rows are stored in a dense
+// rows x k ELL slab; entries beyond the k-th of any row overflow into a
+// COO tail processed with atomics / segmented reduction.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "mat/coo.hpp"
+#include "mat/csr.hpp"
+#include "mat/ell.hpp"
+#include "vgpu/host_model.hpp"
+
+namespace acsr::mat {
+
+template <class T>
+struct Hyb {
+  Ell<T> ell;
+  Coo<T> coo;
+
+  index_t rows() const { return ell.rows; }
+  index_t cols() const { return ell.cols; }
+  offset_t nnz() const { return ell.nnz() + coo.nnz(); }
+  std::size_t bytes() const {
+    return ell.bytes() + coo.vals.size() * (sizeof(T) + 2 * sizeof(index_t));
+  }
+
+  double padding_ratio() const {
+    const double total =
+        static_cast<double>(ell.slots()) + static_cast<double>(coo.nnz());
+    return total == 0.0 ? 0.0
+                        : static_cast<double>(ell.slots() - static_cast<std::size_t>(ell.nnz())) / total;
+  }
+
+  /// The CUSP heuristic the paper cites: pick k as the largest width such
+  /// that at least R = max(breakeven, rows/3) rows have >= k non-zeros.
+  /// `breakeven` is 4096 on real hardware; benches scale it together with
+  /// the corpus.
+  static index_t choose_k(const Csr<T>& a, index_t breakeven = 4096) {
+    if (a.rows == 0) return 0;
+    offset_t max_nnz = 0;
+    for (index_t r = 0; r < a.rows; ++r)
+      max_nnz = std::max(max_nnz, a.row_nnz(r));
+    // count[k] = number of rows with nnz >= k, via a suffix sum.
+    std::vector<offset_t> hist(static_cast<std::size_t>(max_nnz) + 2, 0);
+    for (index_t r = 0; r < a.rows; ++r)
+      ++hist[static_cast<std::size_t>(a.row_nnz(r))];
+    offset_t at_least = 0;
+    const offset_t threshold =
+        std::max<offset_t>(breakeven, a.rows / 3);
+    index_t k = 0;
+    for (offset_t w = max_nnz; w >= 1; --w) {
+      at_least += hist[static_cast<std::size_t>(w)];
+      if (at_least >= threshold) {
+        k = static_cast<index_t>(w);
+        break;
+      }
+    }
+    // All rows shorter than the threshold population: store everything in
+    // the ELL part (k = max width), as CUSP does for small matrices.
+    if (k == 0) k = static_cast<index_t>(max_nnz);
+    return k;
+  }
+
+  static Hyb from_csr(const Csr<T>& a, vgpu::HostModel* hm = nullptr,
+                      index_t breakeven = 4096) {
+    Hyb h;
+    const index_t k = choose_k(a, breakeven);
+    h.ell = Ell<T>::from_csr_with_width(a, k, hm);
+    h.coo.rows = a.rows;
+    h.coo.cols = a.cols;
+    for (index_t r = 0; r < a.rows; ++r) {
+      const offset_t base = a.row_off[static_cast<std::size_t>(r)];
+      const offset_t n = a.row_nnz(r);
+      for (offset_t j = k; j < n; ++j)
+        h.coo.push(r, a.col_idx[static_cast<std::size_t>(base + j)],
+                   a.vals[static_cast<std::size_t>(base + j)]);
+    }
+    // CUSP's conversion runs several full passes beyond the slab fill:
+    // row-length histogram, the k search, exclusive scans for the COO
+    // tail, and the tail gather.
+    if (hm != nullptr)
+      hm->charge_ops(4.0 * static_cast<double>(h.coo.nnz()) +
+                     0.5 * static_cast<double>(a.nnz()) +
+                     2.0 * static_cast<double>(a.rows));
+    return h;
+  }
+
+  void spmv(const std::vector<T>& x, std::vector<T>& y) const {
+    ell.spmv(x, y);
+    for (std::size_t i = 0; i < coo.vals.size(); ++i)
+      y[static_cast<std::size_t>(coo.row_idx[i])] +=
+          coo.vals[i] * x[static_cast<std::size_t>(coo.col_idx[i])];
+  }
+};
+
+}  // namespace acsr::mat

@@ -1,0 +1,96 @@
+#include "mat/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace acsr::mat {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Coo<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  ACSR_REQUIRE(std::getline(in, line), "empty Matrix Market stream");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  ACSR_REQUIRE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  ACSR_REQUIRE(lower(object) == "matrix", "unsupported object: " << object);
+  ACSR_REQUIRE(lower(format) == "coordinate",
+               "only coordinate format supported, got " << format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  ACSR_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+               "unsupported field type: " << field);
+  ACSR_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+               "unsupported symmetry: " << symmetry);
+
+  // Skip comment lines.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long long rows = 0, cols = 0, entries = 0;
+  dims >> rows >> cols >> entries;
+  ACSR_REQUIRE(rows > 0 && cols > 0 && entries >= 0,
+               "bad dimensions line: " << line);
+
+  Coo<double> m;
+  m.rows = static_cast<index_t>(rows);
+  m.cols = static_cast<index_t>(cols);
+  m.reserve(static_cast<std::size_t>(entries) *
+            (symmetry == "symmetric" ? 2 : 1));
+
+  for (long long e = 0; e < entries; ++e) {
+    ACSR_REQUIRE(std::getline(in, line),
+                 "truncated file: expected " << entries << " entries, got "
+                                             << e);
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    es >> r >> c;
+    if (field != "pattern") es >> v;
+    ACSR_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                 "entry out of range: " << line);
+    m.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetry == "symmetric" && r != c)
+      m.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+  }
+  m.sort();
+  m.sum_duplicates();
+  return m;
+}
+
+Coo<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  ACSR_REQUIRE(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const Coo<double>& m, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows << ' ' << m.cols << ' ' << m.nnz() << '\n';
+  for (std::size_t i = 0; i < m.vals.size(); ++i)
+    out << (m.row_idx[i] + 1) << ' ' << (m.col_idx[i] + 1) << ' '
+        << m.vals[i] << '\n';
+}
+
+void write_matrix_market_file(const Coo<double>& m, const std::string& path) {
+  std::ofstream out(path);
+  ACSR_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  write_matrix_market(m, out);
+}
+
+}  // namespace acsr::mat

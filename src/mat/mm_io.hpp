@@ -1,0 +1,32 @@
+// Matrix Market (.mtx) reader/writer so real UF Sparse Matrix Collection
+// files (the paper's corpus) can be dropped in when available.
+// Supports `matrix coordinate real|integer|pattern general|symmetric`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mat/coo.hpp"
+
+namespace acsr::mat {
+
+Coo<double> read_matrix_market(std::istream& in);
+Coo<double> read_matrix_market_file(const std::string& path);
+
+void write_matrix_market(const Coo<double>& m, std::ostream& out);
+void write_matrix_market_file(const Coo<double>& m, const std::string& path);
+
+/// Convert element type (e.g. double-precision file into a float corpus).
+template <class Dst, class Src>
+Coo<Dst> convert_values(const Coo<Src>& src) {
+  Coo<Dst> dst;
+  dst.rows = src.rows;
+  dst.cols = src.cols;
+  dst.row_idx = src.row_idx;
+  dst.col_idx = src.col_idx;
+  dst.vals.reserve(src.vals.size());
+  for (const auto& v : src.vals) dst.vals.push_back(static_cast<Dst>(v));
+  return dst;
+}
+
+}  // namespace acsr::mat

@@ -1,0 +1,167 @@
+// Matrix algebra helpers used by the applications and tests: structural
+// predicates, norms, elementwise combination, scaling, and row slicing
+// (the building blocks of residual checks and delta analysis on dynamic
+// graphs).
+#pragma once
+
+#include <cmath>
+
+#include "mat/csr.hpp"
+
+namespace acsr::mat {
+
+/// Main-diagonal entries (0 where absent).
+template <class T>
+std::vector<T> extract_diagonal(const Csr<T>& a) {
+  std::vector<T> d(static_cast<std::size_t>(std::min(a.rows, a.cols)), T{0});
+  for (index_t r = 0; r < static_cast<index_t>(d.size()); ++r)
+    for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i)
+      if (a.col_idx[static_cast<std::size_t>(i)] == r)
+        d[static_cast<std::size_t>(r)] = a.vals[static_cast<std::size_t>(i)];
+  return d;
+}
+
+/// Frobenius norm.
+template <class T>
+double frobenius_norm(const Csr<T>& a) {
+  double s = 0;
+  for (const T& v : a.vals)
+    s += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(s);
+}
+
+/// True when A's sparsity pattern and values equal B's within tol.
+template <class T>
+bool approx_equal(const Csr<T>& a, const Csr<T>& b, double tol = 0.0) {
+  if (a.rows != b.rows || a.cols != b.cols) return false;
+  if (a.row_off != b.row_off || a.col_idx != b.col_idx) return false;
+  for (std::size_t i = 0; i < a.vals.size(); ++i)
+    if (std::abs(static_cast<double>(a.vals[i]) -
+                 static_cast<double>(b.vals[i])) > tol)
+      return false;
+  return true;
+}
+
+/// Structural symmetry + value symmetry (requires sorted rows).
+template <class T>
+bool is_symmetric(const Csr<T>& a, double tol = 0.0) {
+  if (a.rows != a.cols) return false;
+  const Csr<T> at = a.transpose();
+  return approx_equal(a, at, tol);
+}
+
+/// alpha*A + beta*B with matching shapes (union sparsity). The workhorse
+/// for "what changed" analysis between dynamic-graph epochs.
+template <class T>
+Csr<T> add(const Csr<T>& a, const Csr<T>& b, T alpha = T{1}, T beta = T{1}) {
+  ACSR_CHECK_MSG(a.rows == b.rows && a.cols == b.cols,
+                 "shape mismatch in add");
+  Csr<T> c;
+  c.rows = a.rows;
+  c.cols = a.cols;
+  c.row_off.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    offset_t ia = a.row_off[static_cast<std::size_t>(r)];
+    offset_t ib = b.row_off[static_cast<std::size_t>(r)];
+    const offset_t ea = a.row_off[static_cast<std::size_t>(r) + 1];
+    const offset_t eb = b.row_off[static_cast<std::size_t>(r) + 1];
+    while (ia < ea || ib < eb) {
+      index_t ca = ia < ea ? a.col_idx[static_cast<std::size_t>(ia)]
+                           : a.cols;  // sentinel past-the-end
+      index_t cb = ib < eb ? b.col_idx[static_cast<std::size_t>(ib)]
+                           : b.cols;
+      T v;
+      index_t col;
+      if (ca < cb) {
+        col = ca;
+        v = alpha * a.vals[static_cast<std::size_t>(ia++)];
+      } else if (cb < ca) {
+        col = cb;
+        v = beta * b.vals[static_cast<std::size_t>(ib++)];
+      } else {
+        col = ca;
+        v = alpha * a.vals[static_cast<std::size_t>(ia++)] +
+            beta * b.vals[static_cast<std::size_t>(ib++)];
+      }
+      if (v != T{0}) {
+        c.col_idx.push_back(col);
+        c.vals.push_back(v);
+      }
+    }
+    c.row_off[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(c.col_idx.size());
+  }
+  c.validate();
+  return c;
+}
+
+/// In-place scalar scale.
+template <class T>
+void scale(Csr<T>& a, T alpha) {
+  for (T& v : a.vals) v *= alpha;
+}
+
+/// The rows [lo, hi) as a standalone matrix (same column space).
+template <class T>
+Csr<T> row_slice(const Csr<T>& a, index_t lo, index_t hi) {
+  ACSR_CHECK(0 <= lo && lo <= hi && hi <= a.rows);
+  Csr<T> s;
+  s.rows = hi - lo;
+  s.cols = a.cols;
+  s.row_off.assign(static_cast<std::size_t>(s.rows) + 1, 0);
+  const offset_t base = a.row_off[static_cast<std::size_t>(lo)];
+  const offset_t end = a.row_off[static_cast<std::size_t>(hi)];
+  s.col_idx.assign(a.col_idx.begin() + base, a.col_idx.begin() + end);
+  s.vals.assign(a.vals.begin() + base, a.vals.begin() + end);
+  for (index_t r = 0; r < s.rows; ++r)
+    s.row_off[static_cast<std::size_t>(r) + 1] =
+        a.row_off[static_cast<std::size_t>(lo + r) + 1] - base;
+  s.validate();
+  return s;
+}
+
+/// Structural bandwidth: max |col - row| over the non-zeros (0 for empty).
+template <class T>
+index_t structural_bandwidth(const Csr<T>& a) {
+  index_t bw = 0;
+  for (index_t r = 0; r < a.rows; ++r)
+    for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i)
+      bw = std::max(bw, static_cast<index_t>(std::abs(
+                            a.col_idx[static_cast<std::size_t>(i)] - r)));
+  return bw;
+}
+
+/// Count of structural differences between two same-shape matrices: the
+/// entries present in exactly one of them (value changes not counted).
+template <class T>
+offset_t structural_delta(const Csr<T>& a, const Csr<T>& b) {
+  ACSR_CHECK(a.rows == b.rows && a.cols == b.cols);
+  offset_t delta = 0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    offset_t ia = a.row_off[static_cast<std::size_t>(r)];
+    offset_t ib = b.row_off[static_cast<std::size_t>(r)];
+    const offset_t ea = a.row_off[static_cast<std::size_t>(r) + 1];
+    const offset_t eb = b.row_off[static_cast<std::size_t>(r) + 1];
+    while (ia < ea || ib < eb) {
+      const index_t ca =
+          ia < ea ? a.col_idx[static_cast<std::size_t>(ia)] : a.cols;
+      const index_t cb =
+          ib < eb ? b.col_idx[static_cast<std::size_t>(ib)] : b.cols;
+      if (ca < cb) {
+        ++delta;
+        ++ia;
+      } else if (cb < ca) {
+        ++delta;
+        ++ib;
+      } else {
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  return delta;
+}
+
+}  // namespace acsr::mat

@@ -1,0 +1,16 @@
+// Index/offset typedefs shared by all sparse containers.
+//
+// Both column indices and row offsets are 32-bit, as in the cuSPARSE/CUSP
+// generation the paper targets (CUSPARSE_INDEX_32I): the paper's largest
+// matrix has 298 M non-zeros, comfortably inside int32, and 4-byte row
+// extents halve the per-row metadata traffic of the CSR kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace acsr::mat {
+
+using index_t = std::int32_t;
+using offset_t = std::int32_t;
+
+}  // namespace acsr::mat

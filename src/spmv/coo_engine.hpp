@@ -1,0 +1,136 @@
+// COO SpMV with warp-level segmented reduction (Bell & Garland): each warp
+// takes 32 consecutive non-zeros, head-flags row boundaries with a ballot,
+// runs a shuffle-based segmented scan, and the segment tails accumulate
+// into y with atomics. Used both standalone and as the tail of HYB.
+#pragma once
+
+#include "mat/coo.hpp"
+#include "spmv/engine.hpp"
+#include "vgpu/lane_array.hpp"
+
+namespace acsr::spmv {
+
+/// Warp body over 32 consecutive COO entries starting at `base`.
+template <class T>
+void coo_segmented_warp(vgpu::Warp& w,
+                        vgpu::DeviceSpan<const mat::index_t> row_idx,
+                        vgpu::DeviceSpan<const mat::index_t> col_idx,
+                        vgpu::DeviceSpan<const T> vals,
+                        vgpu::DeviceSpan<const T> x, vgpu::DeviceSpan<T> y,
+                        long long n_entries, long long base) {
+  using vgpu::LaneArray;
+  using vgpu::Mask;
+
+  LaneArray<long long> idx = LaneArray<long long>::iota(base);
+  const Mask live = idx.where(
+      [n_entries](long long i) { return i < n_entries; }, w.active_mask());
+  if (live == 0) return;
+
+  const LaneArray<mat::index_t> r = w.load(row_idx, idx, live);
+  const LaneArray<mat::index_t> c = w.load(col_idx, idx, live);
+  const LaneArray<T> v = w.load(vals, idx, live);
+  const LaneArray<T> xv = w.load_tex(x, c, live);
+  LaneArray<T> prod;
+  for (int l = 0; l < vgpu::kWarpSize; ++l) prod[l] = v[l] * xv[l];
+  w.count_flops(live, 1, sizeof(T) == 8);
+
+  // Entries are row-sorted, so equal rows are contiguous within the warp:
+  // a lane heads a segment when its row differs from its predecessor's.
+  const Mask heads = w.ballot(
+      [&](int l) {
+        return l == 0 || !vgpu::lane_active(live, l - 1) ||
+               r[l] != r[l - 1];
+      },
+      live);
+  // True shuffle-based segmented scan (as in CUSP's coo_flat kernel, which
+  // stages the same computation through shared memory).
+  const LaneArray<T> scanned = w.segmented_scan_add(prod, heads, live);
+
+  // The *last* lane of each segment holds the segment total; it publishes
+  // with an atomic (rows may continue into the neighbouring warps).
+  const Mask tails = w.ballot(
+      [&](int l) {
+        return l == vgpu::kWarpSize - 1 || !vgpu::lane_active(live, l + 1) ||
+               vgpu::lane_active(heads, l + 1);
+      },
+      live);
+  w.atomic_add(y, r, scanned, tails);
+}
+
+template <class T>
+class CooEngine final : public EngineBase<T> {
+ public:
+  CooEngine(vgpu::Device& dev, const mat::Csr<T>& a)
+      : EngineBase<T>(dev, "COO") {
+    vgpu::HostModel hm;
+    coo_ = a.to_coo();
+    hm.charge_ops(3.0 * static_cast<double>(coo_.nnz()));
+    this->report_.preprocess_s = hm.seconds();
+    upload();
+  }
+
+  mat::index_t rows() const override { return coo_.rows; }
+  mat::index_t cols() const override { return coo_.cols; }
+  mat::offset_t nnz() const override { return coo_.nnz(); }
+
+  void apply(const std::vector<T>& x, std::vector<T>& y) const override {
+    coo_.spmv(x, y);
+  }
+
+  double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    ACSR_CHECK(static_cast<mat::index_t>(x.size()) == coo_.cols);
+    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
+    x_dev.host() = x;
+    auto y_dev = this->dev_.template alloc<T>(
+        static_cast<std::size_t>(coo_.rows), "y");
+
+    const vgpu::KernelRun zero = zero_fill(this->dev_, y_dev.span());
+    const vgpu::KernelRun run = run_kernel(x_dev.cspan(), y_dev.span());
+    this->report_.last_run = run;
+    y = y_dev.host();
+    return vgpu::combine_sequential({zero, run});
+  }
+
+  /// Exposed so HYB can run the COO tail as its second kernel.
+  vgpu::KernelRun run_kernel(vgpu::DeviceSpan<const T> x,
+                             vgpu::DeviceSpan<T> y) {
+    const long long n = coo_.nnz();
+    const int block = 128;
+    const long long entries_per_block = block;
+    vgpu::LaunchConfig cfg;
+    cfg.name = "coo_segmented";
+    cfg.block_dim = block;
+    cfg.grid_dim = std::max<long long>(
+        1, (n + entries_per_block - 1) / entries_per_block);
+    auto ri = row_dev_.cspan();
+    auto ci = col_dev_.cspan();
+    auto va = val_dev_.cspan();
+    return this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
+      const long long base = w.global_warp() * vgpu::kWarpSize;
+      if (base >= n) return;
+      coo_segmented_warp<T>(w, ri, ci, va, x, y, n, base);
+    });
+  }
+
+ private:
+  void upload() {
+    row_dev_ = this->dev_.template alloc<mat::index_t>(coo_.row_idx.size(),
+                                                       "coo.row");
+    row_dev_.host() = coo_.row_idx;
+    col_dev_ = this->dev_.template alloc<mat::index_t>(coo_.col_idx.size(),
+                                                       "coo.col");
+    col_dev_.host() = coo_.col_idx;
+    val_dev_ = this->dev_.template alloc<T>(coo_.vals.size(), "coo.val");
+    val_dev_.host() = coo_.vals;
+    const std::size_t b = row_dev_.bytes() + col_dev_.bytes() + val_dev_.bytes();
+    this->charge_upload(b);
+    this->report_.device_bytes = b;
+  }
+
+  mat::Coo<T> coo_;
+  vgpu::DeviceBuffer<mat::index_t> row_dev_;
+  vgpu::DeviceBuffer<mat::index_t> col_dev_;
+  vgpu::DeviceBuffer<T> val_dev_;
+};
+
+}  // namespace acsr::spmv

@@ -1,0 +1,46 @@
+// Device-resident CSR arrays, shared by the CSR-scalar, CSR-vector and
+// ACSR engines (ACSR's whole point is that it adds only metadata on top of
+// these unchanged arrays).
+#pragma once
+
+#include <vector>
+
+#include "mat/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace acsr::spmv {
+
+template <class T>
+struct CsrDevice {
+  mat::index_t rows = 0;
+  mat::index_t cols = 0;
+  vgpu::DeviceBuffer<mat::offset_t> row_off;
+  vgpu::DeviceBuffer<mat::index_t> col_idx;
+  vgpu::DeviceBuffer<T> vals;
+
+  mat::offset_t nnz() const {
+    return static_cast<mat::offset_t>(vals.size());
+  }
+
+  std::size_t bytes() const {
+    return row_off.bytes() + col_idx.bytes() + vals.bytes();
+  }
+
+  /// Allocate on `dev` and fill with the host matrix. The caller charges
+  /// the transfer (engines record it in their report).
+  static CsrDevice upload(vgpu::Device& dev, const mat::Csr<T>& a,
+                          const std::string& tag) {
+    CsrDevice d;
+    d.rows = a.rows;
+    d.cols = a.cols;
+    d.row_off = dev.alloc<mat::offset_t>(a.row_off.size(), tag + ".row_off");
+    d.row_off.host() = a.row_off;
+    d.col_idx = dev.alloc<mat::index_t>(a.col_idx.size(), tag + ".col_idx");
+    d.col_idx.host() = a.col_idx;
+    d.vals = dev.alloc<T>(a.vals.size(), tag + ".vals");
+    d.vals.host() = a.vals;
+    return d;
+  }
+};
+
+}  // namespace acsr::spmv

@@ -1,0 +1,110 @@
+// CSR-scalar: one thread per row (the naive CSR kernel the paper uses as
+// the "straightforward SpMV for CSR" baseline). Suffers warp divergence —
+// a warp runs for the *longest* of its 32 rows — and uncoalesced access to
+// the matrix arrays, both of which the simulator observes directly.
+#pragma once
+
+#include "spmv/csr_device.hpp"
+#include "spmv/engine.hpp"
+#include "vgpu/lane_array.hpp"
+
+namespace acsr::spmv {
+
+using vgpu::LaneArray;
+using vgpu::Mask;
+
+/// Warp body shared with tests: processes 32 consecutive rows.
+/// `row_start`/`row_end` are per-row extent arrays — for plain CSR these
+/// are row_off.subspan(0, rows) and row_off.subspan(1, rows); the
+/// incremental (slack-padded) CSR passes its explicit begin/end arrays.
+template <class T>
+void csr_scalar_warp(vgpu::Warp& w,
+                     vgpu::DeviceSpan<const mat::offset_t> row_start,
+                     vgpu::DeviceSpan<const mat::offset_t> row_end,
+                     vgpu::DeviceSpan<const mat::index_t> col_idx,
+                     vgpu::DeviceSpan<const T> vals,
+                     vgpu::DeviceSpan<const T> x, vgpu::DeviceSpan<T> y,
+                     mat::index_t n_rows) {
+  const LaneArray<long long> rows = w.global_threads();
+  const Mask live =
+      rows.where([n_rows](long long r) { return r < n_rows; },
+                 w.active_mask());
+  if (live == 0) return;
+
+  const LaneArray<mat::offset_t> start = w.load(row_start, rows, live);
+  const LaneArray<mat::offset_t> end = w.load(row_end, rows, live);
+  w.count_alu(2);  // pointer math
+
+  LaneArray<T> sum{};
+  for (mat::offset_t t = 0;; ++t) {
+    Mask m = 0;
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(live, l) && start[l] + t < end[l])
+        m |= vgpu::lane_bit(l);
+    if (m == 0) break;
+    LaneArray<mat::offset_t> idx;
+    for (int l = 0; l < vgpu::kWarpSize; ++l) idx[l] = start[l] + t;
+    const LaneArray<mat::index_t> col = w.load(col_idx, idx, m);
+    const LaneArray<T> val = w.load(vals, idx, m);
+    const LaneArray<T> xv = w.load_tex(x, col, m);
+    vgpu::fma_into(sum, val, xv, m);
+    w.count_flops(m, 2, sizeof(T) == 8);  // FMA = 2 flops
+    w.count_alu(2);                       // loop compare + increment
+  }
+  w.store(y, rows, sum, live);
+}
+
+template <class T>
+class CsrScalarEngine final : public EngineBase<T> {
+ public:
+  CsrScalarEngine(vgpu::Device& dev, const mat::Csr<T>& a)
+      : EngineBase<T>(dev, "CSR-scalar"), host_(a) {
+    // No transform: CSR ships as-is.
+    dev_csr_ = CsrDevice<T>::upload(dev, a, this->name());
+    this->charge_upload(dev_csr_.bytes());
+    this->report_.device_bytes = dev_csr_.bytes();
+  }
+
+  mat::index_t rows() const override { return host_.rows; }
+  mat::index_t cols() const override { return host_.cols; }
+  mat::offset_t nnz() const override { return host_.nnz(); }
+
+  void apply(const std::vector<T>& x, std::vector<T>& y) const override {
+    host_.spmv(x, y);
+  }
+
+  double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
+    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
+    x_dev.host() = x;
+    auto y_dev = this->dev_.template alloc<T>(
+        static_cast<std::size_t>(host_.rows), "y");
+
+    const int block = 128;
+    vgpu::LaunchConfig cfg;
+    cfg.name = "csr_scalar";
+    cfg.block_dim = block;
+    cfg.grid_dim = (host_.rows + block - 1) / block;
+    const auto nrows = static_cast<std::size_t>(host_.rows);
+    auto rs = dev_csr_.row_off.cspan().subspan(0, nrows);
+    auto re = dev_csr_.row_off.cspan().subspan(1, nrows);
+    auto ci = dev_csr_.col_idx.cspan();
+    auto va = dev_csr_.vals.cspan();
+    auto xs = x_dev.cspan();
+    auto ys = y_dev.span();
+    const mat::index_t n = host_.rows;
+    const vgpu::KernelRun run =
+        this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
+          csr_scalar_warp<T>(w, rs, re, ci, va, xs, ys, n);
+        });
+    this->report_.last_run = run;
+    y = y_dev.host();
+    return run.duration_s;
+  }
+
+ private:
+  mat::Csr<T> host_;
+  CsrDevice<T> dev_csr_;
+};
+
+}  // namespace acsr::spmv

@@ -1,0 +1,171 @@
+// CSR-vector (cuSPARSE/CUSP style): a thread-group of V = 2^k lanes
+// cooperates on each row, V chosen from the mean row length, with
+// segmented-warp operation so one warp covers 32/V rows. This is the
+// library-quality CSR baseline the paper compares ACSR against.
+#pragma once
+
+#include "spmv/csr_device.hpp"
+#include "spmv/engine.hpp"
+#include "vgpu/lane_array.hpp"
+
+namespace acsr::spmv {
+
+/// Warp body: processes 32/V consecutive rows starting at warp_first_row.
+/// Shared with the ACSR bin-specific kernels (Algorithm 2 is exactly this
+/// with a per-bin V).
+template <class T>
+void csr_vector_warp(vgpu::Warp& w, int vec_size,
+                     vgpu::DeviceSpan<const mat::offset_t> row_start,
+                     vgpu::DeviceSpan<const mat::offset_t> row_end,
+                     vgpu::DeviceSpan<const mat::index_t> col_idx,
+                     vgpu::DeviceSpan<const T> vals,
+                     vgpu::DeviceSpan<const T> x, vgpu::DeviceSpan<T> y,
+                     vgpu::DeviceSpan<const mat::index_t> row_map,
+                     long long map_size, long long warp_first_slot,
+                     bool use_tex = true) {
+  using vgpu::LaneArray;
+  using vgpu::Mask;
+  const int rows_per_warp = vgpu::kWarpSize / vec_size;
+
+  // Lane l works on slot warp_first_slot + l / vec_size with intra-row
+  // offset l % vec_size. A "slot" indexes row_map when present (ACSR bins)
+  // or is the row id itself (plain CSR-vector, empty row_map).
+  LaneArray<long long> slot;
+  LaneArray<int> sub;  // position within the vector group
+  for (int l = 0; l < vgpu::kWarpSize; ++l) {
+    slot[l] = warp_first_slot + l / vec_size;
+    sub[l] = l % vec_size;
+  }
+  Mask live = 0;
+  for (int l = 0; l < vgpu::kWarpSize; ++l)
+    if (vgpu::lane_active(w.active_mask(), l) && slot[l] < map_size)
+      live |= vgpu::lane_bit(l);
+  if (live == 0) return;
+
+  LaneArray<long long> row;
+  if (row_map.empty()) {
+    row = slot;
+  } else {
+    const LaneArray<mat::index_t> mapped = w.load(row_map, slot, live);
+    for (int l = 0; l < vgpu::kWarpSize; ++l) row[l] = mapped[l];
+  }
+
+  const LaneArray<mat::offset_t> start = w.load(row_start, row, live);
+  const LaneArray<mat::offset_t> end = w.load(row_end, row, live);
+  w.count_alu(3);
+
+  LaneArray<mat::offset_t> i;
+  for (int l = 0; l < vgpu::kWarpSize; ++l) i[l] = start[l] + sub[l];
+
+  LaneArray<T> sum{};
+  for (;;) {
+    Mask m = 0;
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(live, l) && i[l] < end[l])
+        m |= vgpu::lane_bit(l);
+    if (m == 0) break;
+    const LaneArray<mat::index_t> col = w.load(col_idx, i, m);
+    const LaneArray<T> val = w.load(vals, i, m);
+    // x through the texture path (the paper's choice, also cuSPARSE's) or
+    // the plain global path for the ablation.
+    const LaneArray<T> xv = use_tex ? w.load_tex(x, col, m)
+                                    : w.load_gather_uncached(x, col, m);
+    vgpu::fma_into(sum, val, xv, m);
+    w.count_flops(m, 2, sizeof(T) == 8);
+    w.count_alu(2);
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(m, l)) i[l] += vec_size;
+  }
+
+  // Intra-group shuffle reduction; the group leader publishes. Every
+  // caller (plain CSR-vector, the ACSR bins) owns its rows exclusively,
+  // so this is a plain store (beta = 0 semantics) — no read-modify-write.
+  sum = w.reduce_add(sum, live, vec_size);
+  Mask heads = 0;
+  for (int l = 0; l < vgpu::kWarpSize; ++l)
+    if (vgpu::lane_active(live, l) && sub[l] == 0)
+      heads |= vgpu::lane_bit(l);
+  w.store(y, row, sum, heads);
+  (void)rows_per_warp;
+}
+
+/// The CUSP heuristic: vector size = nearest power of two to the mean row
+/// length, clamped to [2, 32].
+inline int choose_vector_size(double mean_nnz_per_row) {
+  int v = 2;
+  while (v < 32 && static_cast<double>(v) * 2.0 <= mean_nnz_per_row) v <<= 1;
+  return v;
+}
+
+template <class T>
+class CsrVectorEngine final : public EngineBase<T> {
+ public:
+  CsrVectorEngine(vgpu::Device& dev, const mat::Csr<T>& a,
+                  int vec_size_override = 0)
+      : EngineBase<T>(dev, "CSR-vector"), host_(a) {
+    const double mu =
+        a.rows == 0 ? 1.0
+                    : static_cast<double>(a.nnz()) / static_cast<double>(a.rows);
+    vec_size_ = vec_size_override > 0 ? vec_size_override
+                                      : choose_vector_size(mu);
+    dev_csr_ = CsrDevice<T>::upload(dev, a, this->name());
+    this->charge_upload(dev_csr_.bytes());
+    this->report_.device_bytes = dev_csr_.bytes();
+  }
+
+  int vector_size() const { return vec_size_; }
+
+  mat::index_t rows() const override { return host_.rows; }
+  mat::index_t cols() const override { return host_.cols; }
+  mat::offset_t nnz() const override { return host_.nnz(); }
+
+  void apply(const std::vector<T>& x, std::vector<T>& y) const override {
+    host_.spmv(x, y);
+  }
+
+  double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
+    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
+    x_dev.host() = x;
+    auto y_dev = this->dev_.template alloc<T>(
+        static_cast<std::size_t>(host_.rows), "y");
+
+    const int rows_per_warp = vgpu::kWarpSize / vec_size_;
+    const long long warps_needed =
+        (static_cast<long long>(host_.rows) + rows_per_warp - 1) /
+        rows_per_warp;
+    const int warps_per_block = 4;  // 128-thread blocks
+    vgpu::LaunchConfig cfg;
+    cfg.name = "csr_vector";
+    cfg.block_dim = warps_per_block * vgpu::kWarpSize;
+    cfg.grid_dim = (warps_needed + warps_per_block - 1) / warps_per_block;
+
+    const auto nrows = static_cast<std::size_t>(host_.rows);
+    auto rs = dev_csr_.row_off.cspan().subspan(0, nrows);
+    auto re = dev_csr_.row_off.cspan().subspan(1, nrows);
+    auto ci = dev_csr_.col_idx.cspan();
+    auto va = dev_csr_.vals.cspan();
+    auto xs = x_dev.cspan();
+    auto ys = y_dev.span();
+    const long long n = host_.rows;
+    const int v = vec_size_;
+    const vgpu::KernelRun run =
+        this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
+          const long long first = w.global_warp() * rows_per_warp;
+          if (first >= n) return;
+          csr_vector_warp<T>(w, v, rs, re, ci, va, xs, ys,
+                             vgpu::DeviceSpan<const mat::index_t>(), n,
+                             first);
+        });
+    this->report_.last_run = run;
+    y = y_dev.host();
+    return run.duration_s;
+  }
+
+ private:
+  mat::Csr<T> host_;
+  CsrDevice<T> dev_csr_;
+  int vec_size_ = 2;
+};
+
+}  // namespace acsr::spmv

@@ -1,0 +1,112 @@
+// ELL SpMV: one thread per row marching across the padded slab. Fully
+// coalesced (column-major layout) but pays bandwidth for every padding
+// slot — the trade the paper's HYB discussion is about.
+#pragma once
+
+#include "mat/ell.hpp"
+#include "spmv/engine.hpp"
+#include "vgpu/lane_array.hpp"
+
+namespace acsr::spmv {
+
+/// Warp body over 32 consecutive rows of an ELL slab. `accumulate` keeps
+/// prior y contents (used by HYB where the COO tail adds on top).
+template <class T>
+void ell_warp(vgpu::Warp& w, vgpu::DeviceSpan<const mat::index_t> col_idx,
+              vgpu::DeviceSpan<const T> vals, vgpu::DeviceSpan<const T> x,
+              vgpu::DeviceSpan<T> y, mat::index_t n_rows, mat::index_t width) {
+  using vgpu::LaneArray;
+  using vgpu::Mask;
+
+  const LaneArray<long long> rows = w.global_threads();
+  const Mask live = rows.where(
+      [n_rows](long long r) { return r < n_rows; }, w.active_mask());
+  if (live == 0) return;
+
+  LaneArray<T> sum{};
+  for (mat::index_t j = 0; j < width; ++j) {
+    LaneArray<long long> slot;
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      slot[l] = static_cast<long long>(j) * n_rows + rows[l];
+    // The slab is loaded unconditionally — padding costs bandwidth.
+    const LaneArray<mat::index_t> col = w.load(col_idx, slot, live);
+    const LaneArray<T> val = w.load(vals, slot, live);
+    Mask valid = 0;
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(live, l) && col[l] != mat::Ell<T>::kPad)
+        valid |= vgpu::lane_bit(l);
+    w.count_alu(2);
+    if (valid != 0) {
+      const LaneArray<T> xv = w.load_tex(x, col, valid);
+      vgpu::fma_into(sum, val, xv, valid);
+      w.count_flops(valid, 2, sizeof(T) == 8);
+    }
+  }
+  w.store(y, rows, sum, live);
+}
+
+template <class T>
+class EllEngine final : public EngineBase<T> {
+ public:
+  EllEngine(vgpu::Device& dev, const mat::Csr<T>& a)
+      : EngineBase<T>(dev, "ELL"), host_(a) {
+    vgpu::HostModel hm;
+    ell_ = mat::Ell<T>::from_csr(a, &hm);
+    this->report_.preprocess_s = hm.seconds();
+    this->report_.padding_ratio = ell_.padding_ratio();
+    upload();
+  }
+
+  mat::index_t rows() const override { return ell_.rows; }
+  mat::index_t cols() const override { return ell_.cols; }
+  mat::offset_t nnz() const override { return host_.nnz(); }
+
+  void apply(const std::vector<T>& x, std::vector<T>& y) const override {
+    ell_.spmv(x, y);
+  }
+
+  double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    ACSR_CHECK(static_cast<mat::index_t>(x.size()) == ell_.cols);
+    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
+    x_dev.host() = x;
+    auto y_dev = this->dev_.template alloc<T>(
+        static_cast<std::size_t>(ell_.rows), "y");
+
+    const int block = 128;
+    vgpu::LaunchConfig cfg;
+    cfg.name = "ell";
+    cfg.block_dim = block;
+    cfg.grid_dim = (ell_.rows + block - 1) / block;
+    auto ci = col_dev_.cspan();
+    auto va = val_dev_.cspan();
+    auto xs = x_dev.cspan();
+    auto ys = y_dev.span();
+    const mat::index_t n = ell_.rows;
+    const mat::index_t k = ell_.width;
+    const vgpu::KernelRun run =
+        this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
+          ell_warp<T>(w, ci, va, xs, ys, n, k);
+        });
+    this->report_.last_run = run;
+    y = y_dev.host();
+    return run.duration_s;
+  }
+
+ private:
+  void upload() {
+    col_dev_ = this->dev_.template alloc<mat::index_t>(ell_.col_idx.size(),
+                                                       "ell.col");
+    col_dev_.host() = ell_.col_idx;
+    val_dev_ = this->dev_.template alloc<T>(ell_.vals.size(), "ell.val");
+    val_dev_.host() = ell_.vals;
+    this->charge_upload(col_dev_.bytes() + val_dev_.bytes());
+    this->report_.device_bytes = col_dev_.bytes() + val_dev_.bytes();
+  }
+
+  mat::Csr<T> host_;
+  mat::Ell<T> ell_;
+  vgpu::DeviceBuffer<mat::index_t> col_dev_;
+  vgpu::DeviceBuffer<T> val_dev_;
+};
+
+}  // namespace acsr::spmv

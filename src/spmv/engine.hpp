@@ -1,0 +1,135 @@
+// SpMV engine interface.
+//
+// An engine owns one matrix in one device-resident format. Construction
+// performs the format's preprocessing (charged to the host cost model) and
+// the H2D upload (charged to the PCIe model); `simulate` then executes one
+// y = A x on the virtual GPU and returns the simulated kernel time, while
+// `apply` is the fast host-side functional path used inside iterative
+// applications (unit tests pin simulate == apply element-for-element).
+//
+// The split mirrors the paper's measurement protocol: preprocessing and
+// transfer are reported separately from SpMV time (Tables III/IV, Fig. 4),
+// and iterative apps run many SpMVs against a resident matrix (Fig. 6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mat/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace acsr::spmv {
+
+struct EngineReport {
+  std::string format;
+  double preprocess_s = 0.0;   // host-side transform / tuning time
+  std::size_t h2d_bytes = 0;   // matrix bytes shipped to the device
+  double h2d_s = 0.0;
+  std::size_t device_bytes = 0;  // resident footprint of the format
+  double padding_ratio = 0.0;    // fraction of stored slots that are padding
+  // Breakdown of the last simulated SpMV.
+  vgpu::KernelRun last_run;      // aggregate of the kernels in one SpMV
+};
+
+template <class T>
+class SpmvEngine {
+ public:
+  virtual ~SpmvEngine() = default;
+
+  virtual const std::string& name() const = 0;
+  /// The device the engine's kernels run on (apps charge their auxiliary
+  /// vector kernels against it).
+  virtual vgpu::Device& device() = 0;
+  virtual mat::index_t rows() const = 0;
+  virtual mat::index_t cols() const = 0;
+  virtual mat::offset_t nnz() const = 0;
+
+  /// Host-side functional SpMV (y resized and overwritten).
+  virtual void apply(const std::vector<T>& x, std::vector<T>& y) const = 0;
+
+  /// Full simulated SpMV on the device; returns simulated seconds.
+  /// x is assumed device-resident (no transfer charged), as in the paper's
+  /// iterative measurement loop.
+  virtual double simulate(const std::vector<T>& x, std::vector<T>& y) = 0;
+
+  virtual const EngineReport& report() const = 0;
+
+  /// Memoized simulated time of one SpMV with a canonical input. The
+  /// simulator is deterministic and the kernel time does not depend on the
+  /// values of x, so iterative apps can use iterations * spmv_seconds().
+  double spmv_seconds() {
+    if (cached_spmv_s_ < 0.0) {
+      std::vector<T> x(static_cast<std::size_t>(cols()), T{1});
+      std::vector<T> y;
+      cached_spmv_s_ = simulate(x, y);
+    }
+    return cached_spmv_s_;
+  }
+
+  /// GFLOPs at the paper's convention: 2 flops per stored non-zero.
+  double gflops() {
+    const double t = spmv_seconds();
+    return t <= 0.0 ? 0.0
+                    : 2.0 * static_cast<double>(nnz()) / t / 1e9;
+  }
+
+ protected:
+  void invalidate_cache() { cached_spmv_s_ = -1.0; }
+
+ private:
+  double cached_spmv_s_ = -1.0;
+};
+
+/// Shared plumbing: name/report storage and the device handle.
+template <class T>
+class EngineBase : public SpmvEngine<T> {
+ public:
+  EngineBase(vgpu::Device& dev, std::string name) : dev_(dev) {
+    report_.format = std::move(name);
+  }
+
+  const std::string& name() const override { return report_.format; }
+  vgpu::Device& device() override { return dev_; }
+  const EngineReport& report() const override { return report_; }
+
+ protected:
+  /// Record a matrix upload: bytes over PCIe into the report.
+  void charge_upload(std::size_t bytes) {
+    report_.h2d_bytes += bytes;
+    report_.h2d_s += dev_.note_transfer(bytes).duration_s;
+  }
+
+  vgpu::Device& dev_;
+  EngineReport report_;
+};
+
+/// Round up to the next power of two (thread-group sizing).
+inline int pow2_ceil(long long v) {
+  int p = 1;
+  while (p < v && p < (1 << 30)) p <<= 1;
+  return p;
+}
+
+/// Zero-fill kernel for the output vector. Engines that *accumulate* into
+/// y (atomics in COO/HYB tails, merge-CSR carries, ACSR's
+/// dynamic-parallelism children) must clear it first — cuSPARSE's beta = 0
+/// path does the same — and the memset's bandwidth is part of their cost.
+template <class T>
+vgpu::KernelRun zero_fill(vgpu::Device& dev, vgpu::DeviceSpan<T> y) {
+  const long long n = static_cast<long long>(y.size());
+  vgpu::LaunchConfig cfg;
+  cfg.name = "zero_y";
+  cfg.block_dim = 256;
+  cfg.grid_dim = std::max<long long>(1, (n + 255) / 256);
+  return dev.launch_warps(cfg, [&](vgpu::Warp& w) {
+    const auto idx = w.global_threads();
+    const vgpu::Mask m = idx.where(
+        [n](long long i) { return i < n; }, w.active_mask());
+    if (m == 0) return;
+    w.store(y, idx, vgpu::LaneArray<T>::filled(T{0}), m);
+  });
+}
+
+}  // namespace acsr::spmv

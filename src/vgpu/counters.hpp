@@ -1,0 +1,62 @@
+// Hardware-event counters accumulated during functional execution of a
+// kernel. The cost model (kernel.cpp) converts these into simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace acsr::vgpu {
+
+struct Counters {
+  // Geometry.
+  std::uint64_t blocks = 0;
+  std::uint64_t warps = 0;
+
+  // Issue pipeline: one unit = one warp-instruction issued.
+  std::uint64_t issue_cycles = 0;
+
+  // Arithmetic throughput, counted per active lane.
+  std::uint64_t sp_flops = 0;
+  std::uint64_t dp_flops = 0;
+
+  // Global-memory (L2/DRAM) path: 32-byte L2 sectors.
+  std::uint64_t gmem_requests = 0;      // warp-level load/store instructions
+  std::uint64_t gmem_transactions = 0;  // distinct 32 B sectors touched
+  std::uint64_t gmem_bytes = 0;         // transactions * 32
+
+  // Texture read path (used for the x vector, as in the paper).
+  std::uint64_t tex_requests = 0;
+  std::uint64_t tex_transactions = 0;  // distinct 32 B segments touched
+  std::uint64_t tex_bytes = 0;
+
+  std::uint64_t shuffle_ops = 0;
+  std::uint64_t smem_accesses = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t atomic_conflicts = 0;  // lanes hitting the same address
+
+  // Dynamic parallelism.
+  std::uint64_t child_launches = 0;
+  std::uint64_t child_blocks = 0;
+
+  Counters& operator+=(const Counters& o) {
+    blocks += o.blocks;
+    warps += o.warps;
+    issue_cycles += o.issue_cycles;
+    sp_flops += o.sp_flops;
+    dp_flops += o.dp_flops;
+    gmem_requests += o.gmem_requests;
+    gmem_transactions += o.gmem_transactions;
+    gmem_bytes += o.gmem_bytes;
+    tex_requests += o.tex_requests;
+    tex_transactions += o.tex_transactions;
+    tex_bytes += o.tex_bytes;
+    shuffle_ops += o.shuffle_ops;
+    smem_accesses += o.smem_accesses;
+    atomic_ops += o.atomic_ops;
+    atomic_conflicts += o.atomic_conflicts;
+    child_launches += o.child_launches;
+    child_blocks += o.child_blocks;
+    return *this;
+  }
+};
+
+}  // namespace acsr::vgpu

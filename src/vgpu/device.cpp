@@ -1,0 +1,143 @@
+#include "vgpu/device.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace acsr::vgpu {
+
+namespace {
+
+/// Convert accumulated counters into the roofline time breakdown.
+KernelRun finalize(const LaunchConfig& cfg, const DeviceSpec& spec,
+                   const KernelEnv& env) {
+  KernelRun run;
+  run.name = cfg.name;
+  run.counters = env.counters;
+  const Counters& c = env.counters;
+
+  const double clock = spec.clock_hz();
+  const double sm = static_cast<double>(spec.sm_count);
+
+  // Warp-issue bandwidth: the most loaded SM bounds the kernel.
+  double max_sm_cycles = 0.0;
+  for (double v : env.sm_issue_cycles) max_sm_cycles = std::max(max_sm_cycles, v);
+  run.issue_s = max_sm_cycles / spec.issue_slots_per_sm / clock;
+
+  // Arithmetic throughput.
+  const double sp_rate = spec.sp_flops_per_cycle_per_sm * sm * clock;
+  const double dp_rate = sp_rate * spec.dp_throughput_ratio;
+  run.flop_s = static_cast<double>(c.sp_flops) / sp_rate +
+               static_cast<double>(c.dp_flops) / dp_rate;
+
+  // DRAM bandwidth: regular global traffic plus the texture misses.
+  const double cache_total =
+      static_cast<double>(spec.tex_cache_bytes_per_sm) * sm;
+  double miss = spec.tex_max_miss;
+  if (env.tex_footprint_bytes > 0) {
+    miss = static_cast<double>(env.tex_footprint_bytes) /
+           (cache_total * spec.tex_reuse_factor);
+    miss = std::clamp(miss, spec.tex_min_miss, spec.tex_max_miss);
+  }
+  run.dram_bytes = static_cast<double>(c.gmem_bytes) +
+                   static_cast<double>(c.tex_bytes) * miss;
+  // Under-occupied kernels cannot keep DRAM saturated (Little's law): the
+  // achievable bandwidth scales with the warps available to issue requests.
+  const double util = std::min(
+      1.0, static_cast<double>(c.warps) /
+               (sm * spec.saturation_warps_per_sm));
+  run.memory_s = run.dram_bytes / (spec.dram_bandwidth_gbs * 1e9 *
+                                   spec.dram_efficiency *
+                                   std::max(util, 1.0 / 64.0));
+
+  // Latency bound: when the grid is too small to hide the longest warp's
+  // dependency chain, that chain is the kernel duration.
+  run.latency_s = env.max_warp_latency_cycles / clock;
+
+  // Dynamic-parallelism launch handling: the device runtime enqueues
+  // children in parallel across SMXs, but launches beyond the pending
+  // limit force memory reservation and serialise.
+  if (c.child_launches > 0) {
+    run.dp_s = static_cast<double>(c.child_launches) *
+               spec.child_launch_overhead_s;
+    const auto limit = static_cast<std::uint64_t>(spec.pending_launch_limit);
+    if (c.child_launches > limit) {
+      run.dp_s += static_cast<double>(c.child_launches - limit) *
+                  spec.over_limit_penalty_s;
+    }
+  }
+
+  run.launch_s = spec.host_launch_overhead_s;
+  run.duration_s = run.launch_s + run.bound_s() + run.dp_s;
+  return run;
+}
+
+}  // namespace
+
+KernelRun Device::launch(const LaunchConfig& cfg, const KernelFn& fn,
+                         std::unordered_set<std::uint64_t>* group_l2) {
+  ACSR_CHECK_MSG(cfg.grid_dim >= 1, "empty grid for kernel " << cfg.name);
+  ACSR_CHECK_MSG(cfg.block_dim >= 1 &&
+                     cfg.block_dim <= spec_.max_threads_per_block,
+                 "bad block_dim " << cfg.block_dim << " for " << cfg.name);
+
+  KernelEnv env;
+  env.spec = &spec_;
+  env.group_l2 = group_l2;
+  env.sm_issue_cycles.assign(static_cast<std::size_t>(spec_.sm_count), 0.0);
+
+  // Size each warp's cache share from the grid's occupancy.
+  const long long warps_per_block = (cfg.block_dim + 31) / 32;
+  const long long grid_warps = cfg.grid_dim * warps_per_block;
+  const long long resident = std::min<long long>(
+      grid_warps, static_cast<long long>(spec_.sm_count) *
+                      spec_.max_resident_warps_per_sm);
+  auto pow2_floor_clamped = [](double v, std::size_t lo, std::size_t hi) {
+    std::size_t w = lo;
+    while (w * 2 <= hi && static_cast<double>(w * 2) <= v) w *= 2;
+    return w;
+  };
+  env.gmem_cache_ways = pow2_floor_clamped(
+      static_cast<double>(spec_.l2_bytes) /
+          (32.0 * static_cast<double>(std::max<long long>(1, resident))),
+      4, 256);
+  const long long resident_per_sm = std::min<long long>(
+      (grid_warps + spec_.sm_count - 1) / spec_.sm_count,
+      spec_.max_resident_warps_per_sm);
+  env.tex_cache_ways = pow2_floor_clamped(
+      static_cast<double>(spec_.tex_cache_bytes_per_sm) /
+          (32.0 *
+           static_cast<double>(std::max<long long>(1, resident_per_sm))),
+      8, 256);
+
+  // Work list: the parent grid, then every device-side launch it (or its
+  // descendants) enqueues. Index-based loop because execution appends.
+  std::vector<ChildLaunch> work;
+  work.push_back({cfg, fn});
+  for (std::size_t wi = 0; wi < work.size(); ++wi) {
+    // Move out: executing the grid may reallocate `work`.
+    const ChildLaunch item = std::move(work[wi]);
+    if (wi > 0) {
+      ACSR_CHECK_MSG(spec_.supports_dynamic_parallelism(),
+                     "device-side launch on " << spec_.name
+                                              << " (CC < 3.5)");
+      env.counters.child_blocks +=
+          static_cast<std::uint64_t>(item.cfg.grid_dim);
+    }
+    for (long long b = 0; b < item.cfg.grid_dim; ++b) {
+      const int sm =
+          static_cast<int>(env.next_block_seq++ %
+                           static_cast<long long>(spec_.sm_count));
+      Block blk(env, b, item.cfg.block_dim, item.cfg.grid_dim, sm);
+      item.fn(blk);
+    }
+    if (!env.pending_children.empty()) {
+      for (auto& ch : env.pending_children) work.push_back(std::move(ch));
+      env.pending_children.clear();
+    }
+  }
+
+  return finalize(cfg, spec_, env);
+}
+
+}  // namespace acsr::vgpu

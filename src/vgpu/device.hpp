@@ -1,0 +1,129 @@
+// The simulated GPU device: memory arena + kernel executor + transfer model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgpu/device_spec.hpp"
+#include "vgpu/kernel.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/warp.hpp"
+
+namespace acsr::vgpu {
+
+/// A host<->device transfer event.
+struct TransferRun {
+  std::size_t bytes = 0;
+  double duration_s = 0.0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)), arena_(spec_.global_mem_bytes) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  MemoryArena& arena() { return arena_; }
+
+  /// Override the capacity (used by benches to scale the memory limit along
+  /// with the 1/N corpus scaling so the paper's OOM entries reproduce).
+  void set_memory_capacity(std::size_t bytes) { arena_.set_capacity(bytes); }
+
+  template <class T>
+  DeviceBuffer<T> alloc(std::size_t n, std::string name) {
+    return DeviceBuffer<T>(arena_, n, std::move(name));
+  }
+
+  /// Allocate and fill from host data, charging the H2D transfer.
+  template <class T>
+  DeviceBuffer<T> upload(const std::vector<T>& host_data, std::string name) {
+    DeviceBuffer<T> b(arena_, host_data.size(), std::move(name));
+    b.host() = host_data;
+    note_transfer(host_data.size() * sizeof(T));
+    return b;
+  }
+
+  /// Charge an H2D/D2H transfer of `bytes` (PCIe model: fixed setup cost
+  /// plus bandwidth term).
+  TransferRun note_transfer(std::size_t bytes) {
+    TransferRun t;
+    t.bytes = bytes;
+    t.duration_s = spec_.transfer_setup_s +
+                   static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbs * 1e9);
+    transfer_seconds_ += t.duration_s;
+    transfer_bytes_ += bytes;
+    return t;
+  }
+
+  /// Execute a kernel functionally and return its simulated run record.
+  /// Dynamic-parallelism children enqueued by the kernel are executed as
+  /// part of the same run (they share the device with the parent).
+  /// `group_l2` links the launch into a concurrent group (see
+  /// ConcurrentGroup below).
+  KernelRun launch(const LaunchConfig& cfg, const KernelFn& fn,
+                   std::unordered_set<std::uint64_t>* group_l2 = nullptr);
+
+  /// Convenience wrapper for warp-granularity kernels: `fn(Warp&)` is run
+  /// for every warp of the grid.
+  template <class F>
+  KernelRun launch_warps(const LaunchConfig& cfg, F&& fn,
+                         std::unordered_set<std::uint64_t>* group_l2 =
+                             nullptr) {
+    return launch(
+        cfg,
+        [&fn](Block& blk) {
+          blk.each_warp([&fn](Warp& w) { fn(w); });
+        },
+        group_l2);
+  }
+
+  // Cumulative transfer accounting (reset per experiment).
+  double transfer_seconds() const { return transfer_seconds_; }
+  std::uint64_t transfer_bytes() const { return transfer_bytes_; }
+  void reset_transfer_stats() {
+    transfer_seconds_ = 0.0;
+    transfer_bytes_ = 0;
+  }
+
+ private:
+  DeviceSpec spec_;
+  MemoryArena arena_;
+  double transfer_seconds_ = 0.0;
+  std::uint64_t transfer_bytes_ = 0;
+};
+
+/// Kernels issued on independent streams that execute concurrently on one
+/// device (the ACSR driver's per-bin grids). Their aligned sweeps share L2:
+/// a DRAM sector any member already fetched is free for the others. Call
+/// launch/launch_warps per grid, then seconds() for the group's combined
+/// duration under the concurrent-kernel model.
+class ConcurrentGroup {
+ public:
+  explicit ConcurrentGroup(Device& dev) : dev_(dev) {}
+
+  KernelRun launch(const LaunchConfig& cfg, const KernelFn& fn) {
+    KernelRun r = dev_.launch(cfg, fn, &l2_);
+    runs_.push_back(r);
+    return r;
+  }
+
+  template <class F>
+  KernelRun launch_warps(const LaunchConfig& cfg, F&& fn) {
+    KernelRun r = dev_.launch_warps(cfg, std::forward<F>(fn), &l2_);
+    runs_.push_back(r);
+    return r;
+  }
+
+  const std::vector<KernelRun>& runs() const { return runs_; }
+  std::size_t unique_sectors() const { return l2_.size(); }
+
+  double seconds() const { return combine_concurrent(runs_, dev_.spec()); }
+
+ private:
+  Device& dev_;
+  std::unordered_set<std::uint64_t> l2_;
+  std::vector<KernelRun> runs_;
+};
+
+}  // namespace acsr::vgpu

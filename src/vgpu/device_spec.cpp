@@ -1,0 +1,93 @@
+#include "vgpu/device_spec.hpp"
+
+#include "common/check.hpp"
+
+namespace acsr::vgpu {
+
+DeviceSpec DeviceSpec::gtx580() {
+  DeviceSpec s;
+  s.name = "GTX580";
+  s.compute_major = 2;
+  s.compute_minor = 0;
+  s.sm_count = 16;
+  s.cores_per_sm = 32;
+  s.clock_ghz = 1.544;
+  s.dram_bandwidth_gbs = 192.4;
+  s.global_mem_bytes = std::size_t{3} * 1024 * 1024 * 1024;
+  s.max_resident_warps_per_sm = 48;
+  s.issue_slots_per_sm = 2.0;
+  s.l2_bytes = std::size_t{768} * 1024;
+  s.sp_flops_per_cycle_per_sm = 32.0 * 2.0;  // FMA counts two flops
+  s.dp_throughput_ratio = 1.0 / 8.0;         // GeForce Fermi derate
+  s.tex_cache_bytes_per_sm = 12 * 1024;
+  s.host_launch_overhead_s = 7.0e-6;  // Fermi launches are slower
+  s.dram_efficiency = 0.70;
+  return s;
+}
+
+DeviceSpec DeviceSpec::tesla_k10() {
+  DeviceSpec s;
+  s.name = "TeslaK10";
+  s.compute_major = 3;
+  s.compute_minor = 0;
+  s.sm_count = 8;
+  s.cores_per_sm = 192;
+  s.clock_ghz = 0.745;
+  s.dram_bandwidth_gbs = 160.0;
+  s.global_mem_bytes = std::size_t{4} * 1024 * 1024 * 1024;
+  s.issue_slots_per_sm = 4.0;
+  s.l2_bytes = std::size_t{512} * 1024;
+  s.sp_flops_per_cycle_per_sm = 192.0 * 2.0;
+  s.dp_throughput_ratio = 1.0 / 24.0;  // GK104 double precision
+  s.tex_cache_bytes_per_sm = 48 * 1024;
+  s.dram_efficiency = 0.72;
+  return s;
+}
+
+DeviceSpec DeviceSpec::gtx_titan() {
+  DeviceSpec s;
+  s.name = "GTXTitan";
+  s.compute_major = 3;
+  s.compute_minor = 5;
+  s.sm_count = 14;
+  s.cores_per_sm = 192;
+  s.clock_ghz = 0.837;
+  s.dram_bandwidth_gbs = 288.4;
+  s.global_mem_bytes = std::size_t{6} * 1024 * 1024 * 1024;
+  s.issue_slots_per_sm = 4.0;
+  s.sp_flops_per_cycle_per_sm = 192.0 * 2.0;
+  s.dp_throughput_ratio = 1.0 / 3.0;  // GK110 with full-rate DP enabled
+  s.tex_cache_bytes_per_sm = 48 * 1024;
+  s.dram_efficiency = 0.75;
+  return s;
+}
+
+DeviceSpec DeviceSpec::scaled_for_corpus(long long scale) const {
+  ACSR_CHECK(scale >= 1);
+  DeviceSpec s = *this;
+  const double f = static_cast<double>(scale);
+  s.host_launch_overhead_s /= f;
+  s.child_launch_overhead_s /= f;
+  s.over_limit_penalty_s /= f;
+  s.async_launch_gap_s /= f;
+  s.transfer_setup_s /= f;
+  s.multi_gpu_sync_s /= f;
+  s.global_mem_bytes = static_cast<std::size_t>(
+      static_cast<double>(s.global_mem_bytes) / f);
+  s.tex_cache_bytes_per_sm = std::max<std::size_t>(
+      1024, static_cast<std::size_t>(
+                static_cast<double>(s.tex_cache_bytes_per_sm) / f));
+  return s;
+}
+
+DeviceSpec DeviceSpec::by_name(const std::string& name) {
+  if (name == "gtx580" || name == "GTX580") return gtx580();
+  if (name == "k10" || name == "TeslaK10" || name == "tesla_k10")
+    return tesla_k10();
+  if (name == "titan" || name == "GTXTitan" || name == "gtx_titan")
+    return gtx_titan();
+  ACSR_REQUIRE(false, "unknown device '" << name
+                                         << "' (use gtx580|k10|titan)");
+}
+
+}  // namespace acsr::vgpu

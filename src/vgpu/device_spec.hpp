@@ -1,0 +1,106 @@
+// Parameterisation of the simulated GPUs. The three presets mirror
+// Table II of the paper: GTX 580 (Fermi GF110, CC 2.0), Tesla K10
+// (Kepler GK104, CC 3.0, two dies per card) and GTX Titan (Kepler GK110,
+// CC 3.5, the only device with dynamic parallelism).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace acsr::vgpu {
+
+struct DeviceSpec {
+  std::string name;
+  int compute_major = 3;
+  int compute_minor = 5;
+
+  int sm_count = 14;
+  int cores_per_sm = 192;
+  double clock_ghz = 0.837;
+
+  double dram_bandwidth_gbs = 288.0;  // device memory
+  double pcie_bandwidth_gbs = 6.0;    // effective host<->device
+  std::size_t global_mem_bytes = std::size_t{6} * 1024 * 1024 * 1024;
+  // L2 capacity: divided among resident warps to size each warp's share of
+  // reusable sectors. Kernels whose per-warp working set exceeds the share
+  // (e.g. CSR-scalar touching 32 rows per warp) lose cross-iteration reuse.
+  std::size_t l2_bytes = std::size_t{1536} * 1024;
+
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_resident_warps_per_sm = 64;
+
+  // Issue model: warp-instructions retired per cycle per SM
+  // (schedulers x dispatch units, derated for dual-issue limits).
+  double issue_slots_per_sm = 4.0;
+
+  // Peak arithmetic throughput per SM per cycle (lane-ops).
+  double sp_flops_per_cycle_per_sm = 192.0;
+  double dp_throughput_ratio = 1.0 / 3.0;  // DP:SP
+
+  // Texture cache (read-only path used for the x vector). The miss model is
+  //   miss = clamp(footprint / (cache_total * reuse_factor), min, max)
+  // where reuse_factor captures the temporal locality of power-law column
+  // accesses (hub columns stay resident).
+  std::size_t tex_cache_bytes_per_sm = 48 * 1024;
+  double tex_reuse_factor = 8.0;
+  double tex_min_miss = 0.02;
+  double tex_max_miss = 0.5;
+
+  // Latency parameters (cycles) for the latency-bound roofline term that
+  // dominates under-occupied kernels. Loop iterations pipeline (loads of
+  // iteration i+1 issue while i is in flight), so each memory instruction
+  // contributes only its pipelined slot to the warp's critical path; the
+  // full DRAM latency is paid once to fill the pipeline.
+  double gmem_latency_cycles = 400.0;     // one-time pipeline fill
+  double mem_pipeline_cycles = 10.0;      // per in-loop memory instruction
+  double alu_latency_cycles = 4.0;
+
+  // Launch / transfer overheads.
+  double host_launch_overhead_s = 5.0e-6;
+  double child_launch_overhead_s = 1.5e-7;  // device-side, per launch
+  int pending_launch_limit = 2048;          // cudaLimitDevRuntimePendingLaunchCount
+  double over_limit_penalty_s = 2.0e-6;     // per launch beyond the limit
+  double async_launch_gap_s = 1.5e-6;       // pipelined multi-stream launches
+  double transfer_setup_s = 1.0e-5;         // fixed cost per PCIe transfer
+  double multi_gpu_sync_s = 1.5e-5;         // inter-device fence per SpMV
+
+  // Effective fraction of peak DRAM bandwidth sustained by SpMV-like
+  // streaming kernels.
+  double dram_efficiency = 0.75;
+  // Warps per SM needed to keep enough requests in flight to saturate
+  // DRAM (Little's law). Kernels with fewer resident warps get a
+  // proportionally smaller share of bandwidth — the under-occupancy that
+  // dynamic parallelism cures for few-row/huge-row matrices.
+  double saturation_warps_per_sm = 16.0;
+
+  bool supports_dynamic_parallelism() const {
+    return compute_major > 3 || (compute_major == 3 && compute_minor >= 5);
+  }
+
+  double clock_hz() const { return clock_ghz * 1e9; }
+
+  /// Shrink every fixed (scale-free) cost together with a 1/N-scaled
+  /// corpus, so the overhead-to-work ratio matches paper scale: launch
+  /// overheads, transfer setup, sync fees, plus memory capacity and the
+  /// texture cache (whose size relative to x drives the miss rate).
+  /// Kernel-work costs (bandwidth, flop rates, latencies) are untouched.
+  DeviceSpec scaled_for_corpus(long long scale) const;
+
+  /// GTX 580: Fermi GF110, 16 SM x 32 cores @ 1.544 GHz (shader clock),
+  /// 192 GB/s, 3 GB, CC 2.0 — no dynamic parallelism, smaller caches.
+  static DeviceSpec gtx580();
+
+  /// Tesla K10: one GK104 die — 8 SMX x 192 @ 0.745 GHz, 160 GB/s, 4 GB,
+  /// CC 3.0 — no dynamic parallelism, weak DP arithmetic (1/24).
+  static DeviceSpec tesla_k10();
+
+  /// GTX Titan: GK110, 14 SMX x 192 @ 0.837 GHz, 288 GB/s, 6 GB, CC 3.5 —
+  /// dynamic parallelism available, DP at 1/3 SP.
+  static DeviceSpec gtx_titan();
+
+  static DeviceSpec by_name(const std::string& name);
+};
+
+}  // namespace acsr::vgpu

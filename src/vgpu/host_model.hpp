@@ -1,0 +1,35 @@
+// Deterministic host-side cost clock.
+//
+// Format conversions (CSR->HYB, BRC blocking, BCCOO tuning, ...) charge
+// their work here as abstract operations; the model converts op counts to
+// simulated seconds with a fixed host rate. Using a deterministic clock —
+// rather than wall time on this container's single core — keeps the
+// preprocessing-to-SpMV ratios of Fig. 4 / Tables III-IV stable and unit-
+// testable.
+#pragma once
+
+#include <cstdint>
+
+namespace acsr::vgpu {
+
+class HostModel {
+ public:
+  /// Effective sustained rate for the scan/scatter/sort element operations
+  /// that dominate sparse-format conversions on the paper's Core i7 host.
+  static constexpr double kOpsPerSecond = 8.0e8;
+
+  /// Charge `ops` abstract element-operations.
+  void charge_ops(double ops) { seconds_ += ops / kOpsPerSecond; }
+
+  /// Charge directly in seconds (e.g. simulated GPU trial runs inside an
+  /// auto-tuning loop).
+  void charge_seconds(double s) { seconds_ += s; }
+
+  double seconds() const { return seconds_; }
+  void reset() { seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace acsr::vgpu

@@ -1,0 +1,45 @@
+#include "vgpu/kernel.hpp"
+
+#include <algorithm>
+
+namespace acsr::vgpu {
+
+double combine_sequential(const std::vector<KernelRun>& runs) {
+  double total = 0.0;
+  for (const auto& r : runs) total += r.duration_s;
+  return total;
+}
+
+double combine_concurrent(const std::vector<KernelRun>& runs,
+                          const DeviceSpec& spec) {
+  if (runs.empty()) return 0.0;
+
+  double issue = 0.0, flop = 0.0, bytes = 0.0, latency = 0.0, dp = 0.0;
+  double warps = 0.0;
+  for (const auto& r : runs) {
+    issue += r.issue_s;
+    flop += r.flop_s;
+    bytes += r.dram_bytes;
+    warps += static_cast<double>(r.counters.warps);
+    latency = std::max(latency, r.latency_s);
+    dp += r.dp_s;
+  }
+  // Concurrent grids are co-resident: their *combined* occupancy sets the
+  // achievable DRAM bandwidth (individually small bin grids saturate
+  // together, which is part of why ACSR launches them concurrently).
+  const double util = std::min(
+      1.0, warps / (static_cast<double>(spec.sm_count) *
+                    spec.saturation_warps_per_sm));
+  const double mem =
+      bytes / (spec.dram_bandwidth_gbs * 1e9 * spec.dram_efficiency *
+               std::max(util, 1.0 / 64.0));
+  const double bound = std::max({issue, flop, mem, latency});
+  // One synchronous launch to get going, then the remaining grids are
+  // issued asynchronously at the pipelined gap.
+  const double launches =
+      spec.host_launch_overhead_s +
+      static_cast<double>(runs.size() - 1) * spec.async_launch_gap_s;
+  return launches + bound + dp;
+}
+
+}  // namespace acsr::vgpu

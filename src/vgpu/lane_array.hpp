@@ -1,0 +1,115 @@
+// SIMT lane-lockstep primitives.
+//
+// The virtual GPU executes kernels one *warp* at a time; a LaneArray<T> is
+// the value of one register across the 32 lanes of the current warp, and a
+// Mask is the warp's activity mask. Writing kernels against these types
+// makes divergence explicit (an iteration with a partial mask is an issued
+// instruction with idle lanes), which is exactly what the timing model
+// needs to observe.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace acsr::vgpu {
+
+inline constexpr int kWarpSize = 32;
+
+using Mask = std::uint32_t;
+inline constexpr Mask kFullMask = 0xffffffffu;
+
+inline int active_lanes(Mask m) { return std::popcount(m); }
+inline bool lane_active(Mask m, int lane) { return (m >> lane) & 1u; }
+inline Mask lane_bit(int lane) { return Mask{1} << lane; }
+/// Mask with the lowest n lanes active.
+inline Mask first_lanes(int n) {
+  return n >= kWarpSize ? kFullMask : ((Mask{1} << n) - 1u);
+}
+
+/// One register across the 32 lanes of a warp.
+template <class T>
+struct LaneArray {
+  std::array<T, kWarpSize> v{};
+
+  T& operator[](int lane) { return v[static_cast<std::size_t>(lane)]; }
+  const T& operator[](int lane) const {
+    return v[static_cast<std::size_t>(lane)];
+  }
+
+  static LaneArray filled(T x) {
+    LaneArray r;
+    r.v.fill(x);
+    return r;
+  }
+
+  /// lane i gets start + i * step (thread-id style initialisation).
+  static LaneArray iota(T start = T{0}, T step = T{1}) {
+    LaneArray r;
+    for (int i = 0; i < kWarpSize; ++i)
+      r.v[static_cast<std::size_t>(i)] = static_cast<T>(start + step * static_cast<T>(i));
+    return r;
+  }
+
+  template <class F>
+  LaneArray<std::invoke_result_t<F, T>> map(F f) const {
+    LaneArray<std::invoke_result_t<F, T>> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = f(v[static_cast<std::size_t>(i)]);
+    return r;
+  }
+
+  /// Lanes where pred(value) holds, restricted to m.
+  template <class P>
+  Mask where(P pred, Mask m = kFullMask) const {
+    Mask r = 0;
+    for (int i = 0; i < kWarpSize; ++i)
+      if (lane_active(m, i) && pred(v[static_cast<std::size_t>(i)])) r |= lane_bit(i);
+    return r;
+  }
+};
+
+// Elementwise arithmetic. These are *functional* helpers only; kernels must
+// report the corresponding instruction cost through Warp::count_* calls
+// (the Warp memory/shuffle/reduce APIs self-report).
+template <class T>
+LaneArray<T> operator+(const LaneArray<T>& a, const LaneArray<T>& b) {
+  LaneArray<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] + b[i];
+  return r;
+}
+template <class T>
+LaneArray<T> operator-(const LaneArray<T>& a, const LaneArray<T>& b) {
+  LaneArray<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] - b[i];
+  return r;
+}
+template <class T>
+LaneArray<T> operator*(const LaneArray<T>& a, const LaneArray<T>& b) {
+  LaneArray<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] * b[i];
+  return r;
+}
+template <class T>
+LaneArray<T> operator+(const LaneArray<T>& a, T s) {
+  LaneArray<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] + s;
+  return r;
+}
+template <class T>
+LaneArray<T> operator*(const LaneArray<T>& a, T s) {
+  LaneArray<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] * s;
+  return r;
+}
+
+/// Fused multiply-add across lanes: acc += a * b (the SpMV inner op).
+template <class T>
+void fma_into(LaneArray<T>& acc, const LaneArray<T>& a, const LaneArray<T>& b,
+              Mask m) {
+  for (int i = 0; i < kWarpSize; ++i)
+    if (lane_active(m, i)) acc[i] += a[i] * b[i];
+}
+
+}  // namespace acsr::vgpu

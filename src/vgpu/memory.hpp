@@ -1,0 +1,163 @@
+// Simulated device memory.
+//
+// A DeviceBuffer<T> is backed by host storage (so functional execution is
+// just array access) but carries a *device virtual address* assigned by the
+// owning arena. The address is what the coalescing model uses to count
+// 128-byte transactions, and the arena enforces the device's capacity so
+// the paper's Ø (out-of-memory) table entries reproduce.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acsr::vgpu {
+
+/// Thrown when an allocation exceeds the simulated device capacity.
+/// Benches catch this to print the paper's Ø entries.
+class DeviceOom : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Non-owning view of device memory; the unit kernels read and write.
+template <class T>
+class DeviceSpan {
+ public:
+  DeviceSpan() = default;
+  DeviceSpan(T* data, std::size_t size, std::uint64_t addr)
+      : data_(data), size_(size), addr_(addr) {}
+
+  // Converting constructor DeviceSpan<T> -> DeviceSpan<const T>.
+  template <class U>
+    requires(std::is_same_v<const U, T>)
+  DeviceSpan(const DeviceSpan<U>& o)  // NOLINT(google-explicit-constructor)
+      : data_(o.data()), size_(o.size()), addr_(o.addr()) {}
+
+  T& operator[](std::size_t i) const {
+    ACSR_CHECK_MSG(i < size_, "device access out of bounds: " << i
+                                                              << " >= " << size_);
+    return data_[i];
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() const { return data_; }
+  std::uint64_t addr() const { return addr_; }
+  std::uint64_t addr_of(std::size_t i) const {
+    return addr_ + i * sizeof(T);
+  }
+
+  DeviceSpan subspan(std::size_t offset, std::size_t count) const {
+    ACSR_CHECK(offset <= size_ && count <= size_ - offset);
+    return DeviceSpan(data_ + offset, count, addr_ + offset * sizeof(T));
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t addr_ = 0;
+};
+
+/// Capacity accounting + virtual address assignment for one device.
+class MemoryArena {
+ public:
+  explicit MemoryArena(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::uint64_t allocate(std::size_t bytes, const std::string& what) {
+    const std::size_t aligned = (bytes + 255) & ~std::size_t{255};
+    if (allocated_ + aligned > capacity_) {
+      throw DeviceOom("device out of memory allocating " +
+                      std::to_string(bytes) + " B for '" + what +
+                      "' (in use " + std::to_string(allocated_) + " of " +
+                      std::to_string(capacity_) + " B)");
+    }
+    allocated_ += aligned;
+    const std::uint64_t addr = next_addr_;
+    next_addr_ += aligned;
+    return addr;
+  }
+
+  void release(std::size_t bytes) {
+    const std::size_t aligned = (bytes + 255) & ~std::size_t{255};
+    ACSR_CHECK(aligned <= allocated_);
+    allocated_ -= aligned;
+  }
+
+  std::size_t allocated() const { return allocated_; }
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t bytes) { capacity_ = bytes; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t allocated_ = 0;
+  // Start away from zero so address 0 never aliases a real buffer.
+  std::uint64_t next_addr_ = 0x10000;
+};
+
+/// Owning device allocation. Movable, not copyable (R.20-style ownership).
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(MemoryArena& arena, std::size_t n, std::string name)
+      : arena_(&arena),
+        name_(std::move(name)),
+        addr_(arena.allocate(n * sizeof(T), name_)),
+        data_(n) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      arena_ = o.arena_;
+      name_ = std::move(o.name_);
+      addr_ = o.addr_;
+      data_ = std::move(o.data_);
+      o.arena_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  std::size_t size() const { return data_.size(); }
+  bool valid() const { return arena_ != nullptr; }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  DeviceSpan<T> span() {
+    return DeviceSpan<T>(data_.data(), data_.size(), addr_);
+  }
+  DeviceSpan<const T> cspan() const {
+    return DeviceSpan<const T>(data_.data(), data_.size(), addr_);
+  }
+
+  /// Host-side access (represents data already resident on the device;
+  /// transfers are charged separately through Device::upload/download).
+  std::vector<T>& host() { return data_; }
+  const std::vector<T>& host() const { return data_; }
+
+ private:
+  void release() {
+    if (arena_ != nullptr) {
+      arena_->release(data_.size() * sizeof(T));
+      arena_ = nullptr;
+    }
+  }
+
+  MemoryArena* arena_ = nullptr;
+  std::string name_;
+  std::uint64_t addr_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace acsr::vgpu

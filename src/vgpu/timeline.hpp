@@ -1,0 +1,92 @@
+// Host-side stream/event timeline, mirroring the CUDA model the paper's
+// driver uses: work items (kernels, transfers) enqueue on streams and run
+// in issue order per stream; events let one stream wait on another; the
+// multi-GPU driver joins per-device streams through it.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acsr::vgpu {
+
+class StreamTimeline {
+ public:
+  using StreamId = int;
+
+  /// An event is a point in simulated time captured from a stream.
+  struct Event {
+    double at_s = 0.0;
+  };
+
+  StreamId create_stream() {
+    cursors_.push_back(0.0);
+    return static_cast<StreamId>(cursors_.size() - 1);
+  }
+
+  std::size_t num_streams() const { return cursors_.size(); }
+
+  /// Enqueue `duration_s` of work; returns its completion time. Work on
+  /// one stream serialises; different streams are independent until
+  /// joined by events.
+  double enqueue(StreamId s, double duration_s, std::string tag = {}) {
+    ACSR_CHECK(duration_s >= 0.0);
+    auto& cur = cursor(s);
+    const double start = cur;
+    cur += duration_s;
+    log_.push_back({s, start, cur, std::move(tag)});
+    return cur;
+  }
+
+  /// cudaEventRecord: capture the stream's current completion time.
+  Event record(StreamId s) { return Event{cursor(s)}; }
+
+  /// cudaStreamWaitEvent: the stream cannot issue further work until the
+  /// event has completed.
+  void wait(StreamId s, const Event& e) {
+    auto& cur = cursor(s);
+    cur = std::max(cur, e.at_s);
+  }
+
+  /// Join every stream (device-wide synchronise); returns the makespan.
+  double synchronize() {
+    double t = 0.0;
+    for (double c : cursors_) t = std::max(t, c);
+    for (double& c : cursors_) c = t;
+    return t;
+  }
+
+  double now(StreamId s) const {
+    ACSR_CHECK(static_cast<std::size_t>(s) < cursors_.size());
+    return cursors_[static_cast<std::size_t>(s)];
+  }
+
+  struct LogEntry {
+    StreamId stream;
+    double start_s;
+    double end_s;
+    std::string tag;
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+
+  /// Total busy time across streams (for utilisation reports).
+  double busy_seconds() const {
+    double t = 0.0;
+    for (const auto& e : log_) t += e.end_s - e.start_s;
+    return t;
+  }
+
+ private:
+  double& cursor(StreamId s) {
+    ACSR_CHECK_MSG(s >= 0 && static_cast<std::size_t>(s) < cursors_.size(),
+                   "unknown stream " << s);
+    return cursors_[static_cast<std::size_t>(s)];
+  }
+
+  std::vector<double> cursors_;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace acsr::vgpu

@@ -1,0 +1,527 @@
+// Warp and Block execution contexts.
+//
+// A kernel is a callable `void(Block&)` invoked once per thread block.
+// Inside, `block.each_warp(fn)` runs `fn` once per warp; code between two
+// each_warp phases executes after all warps of the phase have completed,
+// which gives __syncthreads semantics for free under sequential execution.
+//
+// Warp provides the CUDA-like primitives the paper's kernels need —
+// coalesced-model global loads/stores, a texture read path for x,
+// __shfl_down, atomics, and device-side (dynamic-parallelism) launches —
+// and self-reports every event into the kernel's Counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "vgpu/counters.hpp"
+#include "vgpu/device_spec.hpp"
+#include "vgpu/lane_array.hpp"
+#include "vgpu/memory.hpp"
+
+namespace acsr::vgpu {
+
+class Block;
+
+struct LaunchConfig {
+  long long grid_dim = 1;
+  int block_dim = 32;
+  std::string name = "kernel";
+};
+
+using KernelFn = std::function<void(Block&)>;
+
+struct ChildLaunch {
+  LaunchConfig cfg;
+  KernelFn fn;
+};
+
+/// Shared mutable state for one kernel execution (parent + children).
+struct KernelEnv {
+  const DeviceSpec* spec = nullptr;
+  Counters counters;
+  std::vector<double> sm_issue_cycles;       // indexed by SM
+  double max_warp_latency_cycles = 0.0;
+  std::uint64_t tex_footprint_bytes = 0;     // largest texture-bound span
+  std::vector<ChildLaunch> pending_children;
+  long long next_block_seq = 0;              // global round-robin SM cursor
+  // Occupancy-dependent per-warp cache shares (powers of two), computed by
+  // Device::launch: L2 / resident warps, texture cache / resident warps
+  // per SM. A kernel whose per-warp working set exceeds its share loses
+  // cross-iteration sector reuse (how CSR-scalar really loses on GPUs).
+  std::size_t gmem_cache_ways = 256;
+  std::size_t tex_cache_ways = 64;
+  // When kernels run as a concurrent group (ACSR's per-bin grids on
+  // independent streams), their row sweeps advance in step and L2 merges
+  // their accesses: a sector any kernel of the group already pulled is not
+  // fetched from DRAM again. Owned by the ConcurrentGroup, shared by its
+  // launches.
+  std::unordered_set<std::uint64_t>* group_l2 = nullptr;
+};
+
+class Warp {
+ public:
+  Warp(KernelEnv& env, long long block_idx, int block_dim, long long grid_dim,
+       int warp_in_block, Mask initial_mask)
+      : env_(env),
+        block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        warp_in_block_(warp_in_block),
+        initial_mask_(initial_mask),
+        gmem_cache_(env.gmem_cache_ways),
+        tex_cache_(env.tex_cache_ways) {}
+
+  // --- geometry -----------------------------------------------------------
+  long long block_idx() const { return block_idx_; }
+  int block_dim() const { return block_dim_; }
+  long long grid_dim() const { return grid_dim_; }
+  int warp_in_block() const { return warp_in_block_; }
+  long long global_warp() const {
+    return block_idx_ * ((block_dim_ + kWarpSize - 1) / kWarpSize) +
+           warp_in_block_;
+  }
+  /// Lanes that correspond to live threads of this block.
+  Mask active_mask() const { return initial_mask_; }
+  LaneArray<int> lanes() const { return LaneArray<int>::iota(); }
+  /// Global linear thread id per lane.
+  LaneArray<long long> global_threads() const {
+    const long long base =
+        block_idx_ * block_dim_ + warp_in_block_ * kWarpSize;
+    return LaneArray<long long>::iota(base);
+  }
+
+  // --- global memory. Kepler-style: global loads are serviced at 32-byte
+  // L2 sector granularity — a fully coalesced 32x4B warp load is 4 sectors,
+  // a fully scattered one is 32. A small per-warp direct-mapped sector
+  // cache models L1/L2 reuse: a lane walking consecutive elements (the CSR
+  // row walk) fetches each sector once, not once per iteration. ---
+  template <class T, class I>
+  LaneArray<T> load(DeviceSpan<const T> s, const LaneArray<I>& idx, Mask m) {
+    return load_gather(s, idx, m, /*allow_group=*/true);
+  }
+
+  /// Scattered gather that bypasses the concurrent-group L2 filter: used
+  /// for x gathers on the plain global path (the use_texture=false
+  /// ablation). Random gathers lack the aligned-streaming property that
+  /// justifies the group dedup, so they pay full sector cost per per-warp
+  /// miss — which is exactly why the paper binds x to texture memory.
+  template <class T, class I>
+  LaneArray<T> load_gather_uncached(DeviceSpan<const T> s,
+                                    const LaneArray<I>& idx, Mask m) {
+    return load_gather(s, idx, m, /*allow_group=*/false);
+  }
+
+  template <class T, class I>
+  LaneArray<T> load_gather(DeviceSpan<const T> s, const LaneArray<I>& idx,
+                           Mask m, bool allow_group) {
+    LaneArray<T> r{};
+    int nsegs = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_active(m, lane)) continue;
+      const auto i = static_cast<std::size_t>(idx[lane]);
+      r[lane] = s[i];
+      if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
+        nsegs += allow_group ? group_miss(s.addr_of(i) / kGmemSegment) : 1;
+    }
+    account_gmem(m, nsegs);
+    return r;
+  }
+
+  /// Load through a writable span (read-modify-write kernels).
+  template <class T, class I>
+    requires(!std::is_const_v<T>)
+  LaneArray<T> load(DeviceSpan<T> s, const LaneArray<I>& idx, Mask m) {
+    return load(DeviceSpan<const T>(s), idx, m);
+  }
+
+  template <class T, class I>
+  void store(DeviceSpan<T> s, const LaneArray<I>& idx, const LaneArray<T>& v,
+             Mask m) {
+    int nsegs = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_active(m, lane)) continue;
+      const auto i = static_cast<std::size_t>(idx[lane]);
+      s[i] = v[lane];
+      if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
+        nsegs += group_miss(s.addr_of(i) / kGmemSegment);
+    }
+    account_gmem(m, nsegs);
+  }
+
+  /// Uniform (warp-wide broadcast) load of a single element.
+  template <class T>
+  T load_scalar(DeviceSpan<const T> s, std::size_t i) {
+    account_gmem(kFullMask, 1);
+    return s[i];
+  }
+
+  // --- texture read path (used for the x vector, 32 B segments) -----------
+  template <class T, class I>
+  LaneArray<T> load_tex(DeviceSpan<const T> s, const LaneArray<I>& idx,
+                        Mask m) {
+    LaneArray<T> r{};
+    int nsegs = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_active(m, lane)) continue;
+      const auto i = static_cast<std::size_t>(idx[lane]);
+      r[lane] = s[i];
+      if (!tex_cache_.hit(s.addr_of(i) / kTexSegment)) ++nsegs;
+    }
+    env_.counters.tex_requests += 1;
+    env_.counters.tex_transactions += static_cast<std::uint64_t>(nsegs);
+    env_.counters.tex_bytes += static_cast<std::uint64_t>(nsegs) * kTexSegment;
+    if (s.size() * sizeof(T) > env_.tex_footprint_bytes)
+      env_.tex_footprint_bytes = s.size() * sizeof(T);
+    issue_ += 1;
+    mem_instr_ += 1;
+    return r;
+  }
+
+  // --- atomics -------------------------------------------------------------
+  template <class T, class I>
+  void atomic_add(DeviceSpan<T> s, const LaneArray<I>& idx,
+                  const LaneArray<T>& v, Mask m) {
+    std::uint64_t addrs[kWarpSize];
+    int n = 0;
+    std::uint64_t dups = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_active(m, lane)) continue;
+      const auto i = static_cast<std::size_t>(idx[lane]);
+      s[i] += v[lane];
+      const std::uint64_t a = s.addr_of(i);
+      bool seen = false;
+      for (int k = 0; k < n; ++k)
+        if (addrs[k] == a) {
+          seen = true;
+          break;
+        }
+      if (seen)
+        ++dups;
+      else
+        addrs[n++] = a;
+    }
+    const auto act = static_cast<std::uint64_t>(active_lanes(m));
+    env_.counters.atomic_ops += act;
+    env_.counters.atomic_conflicts += dups;
+    // Conflicting lanes serialise: each replay is an extra issue slot.
+    issue_ += 1 + dups;
+    mem_instr_ += 1;
+    std::uint64_t segs[kWarpSize];
+    int nsegs = 0;
+    for (int k = 0; k < n; ++k) note_segment(segs, nsegs, addrs[k] / kGmemSegment);
+    env_.counters.gmem_requests += 1;
+    env_.counters.gmem_transactions += static_cast<std::uint64_t>(nsegs);
+    env_.counters.gmem_bytes += static_cast<std::uint64_t>(nsegs) * kGmemSegment;
+  }
+
+  // --- intra-warp data exchange --------------------------------------------
+  /// CUDA __ballot: mask of active lanes whose predicate holds.
+  template <class P>
+  Mask ballot(P pred, Mask m) {
+    Mask r = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      if (lane_active(m, lane) && pred(lane)) r |= lane_bit(lane);
+    issue_ += 1;
+    alu_instr_ += 1;
+    return r;
+  }
+
+  /// CUDA __shfl_up within sub-groups of `width` lanes: lane i reads lane
+  /// i - delta, or keeps its value at the group's lower edge.
+  template <class T>
+  LaneArray<T> shfl_up(const LaneArray<T>& v, int delta,
+                       int width = kWarpSize) {
+    ACSR_CHECK(width > 0 && width <= kWarpSize);
+    LaneArray<T> r;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const int group_begin = (lane / width) * width;
+      const int src = lane - delta;
+      r[lane] = (src >= group_begin) ? v[src] : v[lane];
+    }
+    env_.counters.shuffle_ops += 1;
+    issue_ += 1;
+    alu_instr_ += 1;
+    return r;
+  }
+
+  /// CUDA __shfl_xor: butterfly exchange with lane ^ mask.
+  template <class T>
+  LaneArray<T> shfl_xor(const LaneArray<T>& v, int lane_mask) {
+    LaneArray<T> r;
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      r[lane] = v[lane ^ lane_mask];
+    env_.counters.shuffle_ops += 1;
+    issue_ += 1;
+    alu_instr_ += 1;
+    return r;
+  }
+
+  /// Inclusive prefix sum over active lanes (Hillis-Steele with
+  /// shuffle-up): lane i gets the sum of active lanes 0..i.
+  template <class T>
+  LaneArray<T> inclusive_scan_add(LaneArray<T> v, Mask m) {
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      if (!lane_active(m, lane)) v[lane] = T{0};
+    for (int d = 1; d < kWarpSize; d <<= 1) {
+      const LaneArray<T> up = shfl_up(v, d);
+      for (int lane = d; lane < kWarpSize; ++lane) v[lane] = v[lane] + up[lane];
+      count_flops(m, 1, sizeof(T) == 8);
+    }
+    return v;
+  }
+
+  /// Inclusive *segmented* prefix sum: `heads` marks the first lane of
+  /// each segment; sums do not propagate across segment boundaries. This
+  /// is the warp kernel at the heart of COO segmented reduction.
+  template <class T>
+  LaneArray<T> segmented_scan_add(LaneArray<T> v, Mask heads, Mask m) {
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      if (!lane_active(m, lane)) v[lane] = T{0};
+    // seg_start[lane] = index of the lane's segment head.
+    LaneArray<int> seg_start;
+    int cur = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(heads, lane)) cur = lane;
+      seg_start[lane] = cur;
+    }
+    count_alu(2);  // head-flag propagation (min-index scan on hardware)
+    for (int d = 1; d < kWarpSize; d <<= 1) {
+      const LaneArray<T> up = shfl_up(v, d);
+      for (int lane = d; lane < kWarpSize; ++lane)
+        if (lane - d >= seg_start[lane]) v[lane] = v[lane] + up[lane];
+      count_flops(m, 1, sizeof(T) == 8);
+    }
+    return v;
+  }
+
+  /// CUDA __shfl_down within sub-groups of `width` lanes.
+  template <class T>
+  LaneArray<T> shfl_down(const LaneArray<T>& v, int delta,
+                         int width = kWarpSize) {
+    ACSR_CHECK(width > 0 && width <= kWarpSize);
+    LaneArray<T> r;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const int group_end = (lane / width) * width + width;
+      const int src = lane + delta;
+      r[lane] = (src < group_end) ? v[src] : v[lane];
+    }
+    env_.counters.shuffle_ops += 1;
+    issue_ += 1;
+    alu_instr_ += 1;
+    return r;
+  }
+
+  /// Butterfly sum of active lanes within sub-groups of `width`; the value
+  /// lands in the first lane of each group (shuffle-based reduction).
+  template <class T>
+  LaneArray<T> reduce_add(LaneArray<T> v, Mask m, int width = kWarpSize) {
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      if (!lane_active(m, lane)) v[lane] = T{0};
+    for (int d = width / 2; d > 0; d /= 2) {
+      const LaneArray<T> o = shfl_down(v, d, width);
+      for (int lane = 0; lane < kWarpSize; ++lane) v[lane] = v[lane] + o[lane];
+      count_flops(m, 1, sizeof(T) == 8);
+    }
+    return v;
+  }
+
+  // --- instruction accounting ----------------------------------------------
+  /// n floating-point lane-ops per active lane (an FMA counts as 2 flops;
+  /// pass flops_per_lane accordingly).
+  void count_flops(Mask m, int flops_per_lane, bool dp) {
+    const auto act = static_cast<std::uint64_t>(active_lanes(m)) *
+                     static_cast<std::uint64_t>(flops_per_lane);
+    if (dp)
+      env_.counters.dp_flops += act;
+    else
+      env_.counters.sp_flops += act;
+    issue_ += static_cast<std::uint64_t>(flops_per_lane);
+    alu_instr_ += static_cast<std::uint64_t>(flops_per_lane);
+  }
+
+  /// n integer/control warp-instructions (address math, compares, branches).
+  void count_alu(int n) {
+    issue_ += static_cast<std::uint64_t>(n);
+    alu_instr_ += static_cast<std::uint64_t>(n);
+  }
+
+  /// Serialised single-lane global accesses (e.g. the dynamic-update
+  /// kernel where only lane 0 of the warp mutates a row): each access is
+  /// its own 32 B L2 sector transaction and its own issue slot.
+  void count_serial_gmem(std::uint64_t accesses) {
+    env_.counters.gmem_requests += accesses;
+    env_.counters.gmem_transactions += accesses;
+    env_.counters.gmem_bytes += accesses * 32;
+    issue_ += accesses;
+    mem_instr_ += accesses;
+  }
+
+  /// n shuffle instructions whose data movement is modelled analytically
+  /// (e.g. the segmented-reduction network in the COO kernel).
+  void count_shuffles(int n) {
+    env_.counters.shuffle_ops += static_cast<std::uint64_t>(n);
+    issue_ += static_cast<std::uint64_t>(n);
+    alu_instr_ += static_cast<std::uint64_t>(n);
+  }
+
+  void count_smem(int accesses) {
+    env_.counters.smem_accesses += static_cast<std::uint64_t>(accesses);
+    issue_ += 1;
+    alu_instr_ += 1;
+  }
+
+  // --- dynamic parallelism ---------------------------------------------------
+  /// Device-side launch (Algorithm 3's per-row child grids). Only valid on
+  /// CC >= 3.5 devices; the Device enforces this at kernel finalisation.
+  void launch_child(LaunchConfig cfg, KernelFn fn) {
+    env_.counters.child_launches += 1;
+    issue_ += 4;  // parameter marshalling by the parent thread
+    alu_instr_ += 4;
+    env_.pending_children.push_back({std::move(cfg), std::move(fn)});
+  }
+
+  // Called by Block::each_warp after the warp body completes.
+  void finish(int sm) {
+    env_.counters.warps += 1;
+    env_.sm_issue_cycles[static_cast<std::size_t>(sm)] +=
+        static_cast<double>(issue_);
+    const double lat =
+        (mem_instr_ > 0 ? env_.spec->gmem_latency_cycles : 0.0) +
+        static_cast<double>(mem_instr_) * env_.spec->mem_pipeline_cycles +
+        static_cast<double>(alu_instr_) * env_.spec->alu_latency_cycles;
+    if (lat > env_.max_warp_latency_cycles)
+      env_.max_warp_latency_cycles = lat;
+  }
+
+ private:
+  static constexpr std::uint64_t kGmemSegment = 32;
+  static constexpr std::uint64_t kTexSegment = 32;
+
+  /// Direct-mapped tag array standing in for the warp's share of L2 (or of
+  /// the texture cache). Collisions evict, which approximates capacity
+  /// pressure: more resident warps -> fewer ways each -> less reuse.
+  struct SectorCache {
+    static constexpr std::size_t kMaxWays = 256;
+    std::uint64_t tags[kMaxWays];
+    std::uint64_t mask;
+    explicit SectorCache(std::size_t ways) : mask(ways - 1) {
+      ACSR_CHECK(ways >= 1 && ways <= kMaxWays &&
+                 (ways & (ways - 1)) == 0);
+      for (std::size_t i = 0; i < ways; ++i) tags[i] = ~std::uint64_t{0};
+    }
+    /// True if resident; inserts otherwise.
+    bool hit(std::uint64_t seg) {
+      auto& slot = tags[seg & mask];
+      if (slot == seg) return true;
+      slot = seg;
+      return false;
+    }
+  };
+
+  static void note_segment(std::uint64_t* segs, int& n, std::uint64_t seg) {
+    for (int k = 0; k < n; ++k)
+      if (segs[k] == seg) return;
+    segs[n++] = seg;
+  }
+
+  /// 1 if the sector must come from DRAM, 0 if another kernel of the
+  /// current concurrent group already pulled it into L2.
+  int group_miss(std::uint64_t seg) {
+    if (env_.group_l2 == nullptr) return 1;
+    return env_.group_l2->insert(seg).second ? 1 : 0;
+  }
+
+  void account_gmem(Mask /*m*/, int nsegs) {
+    env_.counters.gmem_requests += 1;
+    env_.counters.gmem_transactions += static_cast<std::uint64_t>(nsegs);
+    env_.counters.gmem_bytes +=
+        static_cast<std::uint64_t>(nsegs) * kGmemSegment;
+    issue_ += 1;
+    mem_instr_ += 1;
+  }
+
+  KernelEnv& env_;
+  long long block_idx_;
+  int block_dim_;
+  long long grid_dim_;
+  int warp_in_block_;
+  Mask initial_mask_;
+
+  std::uint64_t issue_ = 0;
+  std::uint64_t mem_instr_ = 0;
+  std::uint64_t alu_instr_ = 0;
+  SectorCache gmem_cache_;
+  SectorCache tex_cache_;
+};
+
+class Block {
+ public:
+  Block(KernelEnv& env, long long block_idx, int block_dim,
+        long long grid_dim, int sm)
+      : env_(env),
+        block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        sm_(sm) {
+    env_.counters.blocks += 1;
+  }
+
+  long long block_idx() const { return block_idx_; }
+  int block_dim() const { return block_dim_; }
+  long long grid_dim() const { return grid_dim_; }
+
+  int warps_per_block() const {
+    return (block_dim_ + kWarpSize - 1) / kWarpSize;
+  }
+
+  /// Run `fn` for each warp of the block. Returning from each_warp is a
+  /// block-wide barrier (all warps completed), so a kernel structured as
+  ///   phase 1: block.each_warp(...); phase 2: block.each_warp(...)
+  /// has __syncthreads semantics between the phases.
+  template <class F>
+  void each_warp(F&& fn) {
+    for (int w = 0; w < warps_per_block(); ++w) {
+      const int live = std::min(kWarpSize, block_dim_ - w * kWarpSize);
+      Warp warp(env_, block_idx_, block_dim_, grid_dim_, w,
+                first_lanes(live));
+      fn(warp);
+      warp.finish(sm_);
+    }
+  }
+
+  /// Block-scope shared memory. Each call returns a fresh zero-filled
+  /// region that lives for the rest of the block.
+  template <class T>
+  DeviceSpan<T> shared(std::size_t n) {
+    auto storage = std::make_unique<std::vector<double>>(
+        (n * sizeof(T) + sizeof(double) - 1) / sizeof(double));
+    T* p = reinterpret_cast<T*>(storage->data());
+    std::fill(p, p + n, T{});
+    shared_storage_.push_back(std::move(storage));
+    // Shared memory is not part of the global address space; give it a
+    // sentinel address range that cannot collide with arena addresses.
+    const std::uint64_t addr = 0xffff000000000000ULL +
+                               shared_storage_.size() * 0x100000ULL;
+    return DeviceSpan<T>(p, n, addr);
+  }
+
+  /// Explicit barrier marker: charges one issue per warp.
+  void sync() {
+    env_.sm_issue_cycles[static_cast<std::size_t>(sm_)] +=
+        static_cast<double>(warps_per_block());
+  }
+
+ private:
+  KernelEnv& env_;
+  long long block_idx_;
+  int block_dim_;
+  long long grid_dim_;
+  int sm_;
+  std::vector<std::unique_ptr<std::vector<double>>> shared_storage_;
+};
+
+}  // namespace acsr::vgpu

@@ -1,0 +1,62 @@
+// The ACSR parameter auto-tuner: finds a configuration no worse than the
+// defaults, prunes the search on non-DP devices, and stays cheap enough
+// for dynamic graphs (its whole cost is tens of SpMVs, not thousands).
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "graph/corpus.hpp"
+
+namespace {
+
+using namespace acsr;
+
+mat::Csr<double> tail_heavy() {
+  return graph::build_matrix(graph::corpus_entry("RAL"), 64, 42);
+}
+
+TEST(AcsrAutotune, FindsConfigurationAtLeastAsGoodAsDefault) {
+  const auto spec = vgpu::DeviceSpec::gtx_titan().scaled_for_corpus(64);
+  const auto a = tail_heavy();
+  vgpu::Device dev(spec);
+  const auto tuned = core::autotune_acsr(dev, a);
+  EXPECT_GT(tuned.trials, 3);
+  EXPECT_GT(tuned.best_spmv_s, 0.0);
+
+  vgpu::Device d_def(spec), d_best(spec);
+  core::AcsrEngine<double> def(d_def, a);
+  core::AcsrEngine<double> best(d_best, a, tuned.best);
+  EXPECT_LE(best.spmv_seconds(), def.spmv_seconds() * 1.02);
+}
+
+TEST(AcsrAutotune, PrunesSearchWithoutDynamicParallelism) {
+  const auto spec = vgpu::DeviceSpec::gtx580().scaled_for_corpus(64);
+  const auto a = tail_heavy();
+  vgpu::Device dev(spec);
+  const auto tuned = core::autotune_acsr(dev, a);
+  EXPECT_EQ(tuned.trials, 1);  // ThreadLoad/BinMax only matter with DP
+}
+
+TEST(AcsrAutotune, CostStaysInSpMvRange) {
+  // The contrast with BCCOO/TCOO tuning: this search costs tens of SpMVs.
+  const auto spec = vgpu::DeviceSpec::gtx_titan().scaled_for_corpus(64);
+  const auto a = graph::build_matrix(graph::corpus_entry("EU2"), 64, 42);
+  vgpu::Device dev(spec);
+  const auto tuned = core::autotune_acsr(dev, a);
+  EXPECT_LT(tuned.tuning_cost_s, 100.0 * tuned.best_spmv_s);
+}
+
+TEST(AcsrAutotune, TunedEngineStaysCorrect) {
+  const auto spec = vgpu::DeviceSpec::gtx_titan().scaled_for_corpus(64);
+  const auto a = tail_heavy();
+  vgpu::Device dev(spec);
+  const auto tuned = core::autotune_acsr(dev, a);
+  vgpu::Device d2(spec);
+  core::AcsrEngine<double> e(d2, a, tuned.best);
+  std::vector<double> x(static_cast<std::size_t>(a.cols), 0.5), y, ref;
+  e.simulate(x, y);
+  a.spmv(x, ref);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(y[i], ref[i], 1e-9 * std::max(1.0, std::abs(ref[i])));
+}
+
+}  // namespace

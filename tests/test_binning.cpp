@@ -1,0 +1,121 @@
+// ACSR binning semantics: the power-of-two bucket rule, thread-group
+// sizing, the G1/G2 (dynamic-parallelism) split, the RowMax cap, and
+// bin-coverage invariants.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/binning.hpp"
+
+namespace {
+
+using acsr::Log2Histogram;
+using acsr::core::Binning;
+using acsr::core::BinningOptions;
+using acsr::mat::index_t;
+using acsr::mat::offset_t;
+
+TEST(BucketRule, PaperRanges) {
+  // Bin 1 holds 1-2 nnz, bin 2 holds 3-4, bin 3 holds 5-8, ...
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(5), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(8), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(33), 6u);
+  EXPECT_EQ(Log2Histogram::bucket_of(64), 6u);
+  for (std::uint64_t v : {1ull, 2ull, 7ull, 64ull, 1000ull}) {
+    const auto b = Log2Histogram::bucket_of(v);
+    EXPECT_GT(v, Log2Histogram::bucket_lo(b));
+    EXPECT_LE(v, Log2Histogram::bucket_hi(b));
+  }
+}
+
+TEST(VectorSize, MatchesPaperExamples) {
+  // Bin of [1..2] nnz -> 1 thread; bin of [33..64] -> 32 threads.
+  EXPECT_EQ(Binning::vector_size_for_bin(1), 1);
+  EXPECT_EQ(Binning::vector_size_for_bin(2), 2);
+  EXPECT_EQ(Binning::vector_size_for_bin(3), 4);
+  EXPECT_EQ(Binning::vector_size_for_bin(6), 32);
+  EXPECT_EQ(Binning::vector_size_for_bin(12), 32);  // capped at the warp
+}
+
+TEST(Binning, EveryNonEmptyRowAppearsExactlyOnce) {
+  std::vector<offset_t> nnz{0, 1, 2, 3, 7, 8, 9, 500, 5000, 0, 64};
+  BinningOptions opt;
+  opt.bin_max = 5;  // rows with nnz > 32 go to DP
+  const Binning b = Binning::build(nnz, opt);
+  std::vector<int> seen(nnz.size(), 0);
+  for (const auto& bin : b.bins)
+    for (index_t r : bin) ++seen[static_cast<std::size_t>(r)];
+  for (index_t r : b.dp_rows) ++seen[static_cast<std::size_t>(r)];
+  for (std::size_t r = 0; r < nnz.size(); ++r)
+    EXPECT_EQ(seen[r], nnz[r] == 0 ? 0 : 1) << "row " << r;
+}
+
+TEST(Binning, BinMembershipMatchesRanges) {
+  std::vector<offset_t> nnz{1, 2, 3, 4, 5, 8, 9, 16, 17};
+  BinningOptions opt;
+  opt.bin_max = 10;
+  const Binning b = Binning::build(nnz, opt);
+  EXPECT_EQ(b.bins[1], (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(b.bins[2], (std::vector<index_t>{2, 3}));
+  EXPECT_EQ(b.bins[3], (std::vector<index_t>{4, 5}));
+  EXPECT_EQ(b.bins[4], (std::vector<index_t>{6, 7}));
+  EXPECT_EQ(b.bins[5], (std::vector<index_t>{8}));
+  EXPECT_TRUE(b.dp_rows.empty());
+  EXPECT_EQ(b.num_nonempty_bins(), 5);
+}
+
+TEST(Binning, LongTailGoesToDp) {
+  std::vector<offset_t> nnz{4, 4, 2000, 4, 9000, 4};
+  BinningOptions opt;
+  opt.bin_max = 6;
+  const Binning b = Binning::build(nnz, opt);
+  // Descending by nnz.
+  EXPECT_EQ(b.dp_rows, (std::vector<index_t>{4, 2}));
+}
+
+TEST(Binning, RowMaxCapsDpAndOverflowFallsBack) {
+  std::vector<offset_t> nnz(10, 1000);
+  BinningOptions opt;
+  opt.bin_max = 5;
+  opt.row_max = 4;
+  const Binning b = Binning::build(nnz, opt);
+  EXPECT_EQ(b.dp_rows.size(), 4u);
+  // The other 6 land in their natural bin (1000 -> bin 10).
+  ASSERT_GT(b.bins.size(), 10u);
+  EXPECT_EQ(b.bins[10].size(), 6u);
+}
+
+TEST(Binning, DpDisabledPutsEverythingInBins) {
+  std::vector<offset_t> nnz{4, 40000, 7};
+  BinningOptions opt;
+  opt.enable_dp = false;
+  const Binning b = Binning::build(nnz, opt);
+  EXPECT_TRUE(b.dp_rows.empty());
+  index_t total = 0;
+  for (const auto& bin : b.bins) total += static_cast<index_t>(bin.size());
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Binning, RowMaxZeroDisablesDp) {
+  std::vector<offset_t> nnz{40000};
+  BinningOptions opt;
+  opt.row_max = 0;
+  const Binning b = Binning::build(nnz, opt);
+  EXPECT_TRUE(b.dp_rows.empty());
+}
+
+TEST(Binning, ChargesOneScanToHostModel) {
+  std::vector<offset_t> nnz(100000, 5);
+  acsr::vgpu::HostModel hm;
+  Binning::build(nnz, BinningOptions{}, &hm);
+  EXPECT_GT(hm.seconds(), 0.0);
+  // Must stay linear-ish: well under a millisecond of simulated host time
+  // for 100k rows (this is ACSR's "preprocessing costs ~3 SpMVs" claim).
+  EXPECT_LT(hm.seconds(), 1e-3);
+}
+
+}  // namespace

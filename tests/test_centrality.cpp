@@ -1,0 +1,160 @@
+// Katz centrality and label-propagation connected components, plus the
+// SELL-C-sigma engine that rounds out the sliced-format family.
+#include <gtest/gtest.h>
+
+#include "apps/centrality.hpp"
+#include "core/acsr_engine.hpp"
+#include "graph/powerlaw.hpp"
+#include "spmv/sell_engine.hpp"
+
+namespace {
+
+using namespace acsr;
+using vgpu::Device;
+using vgpu::DeviceSpec;
+
+mat::Csr<double> two_triangles_and_isolated() {
+  // Component A: 0-1-2 triangle. Component B: 3-4. Vertex 5 isolated.
+  mat::Coo<double> c;
+  c.rows = 6;
+  c.cols = 6;
+  c.push(0, 1, 1.0);
+  c.push(1, 2, 1.0);
+  c.push(2, 0, 1.0);
+  c.push(3, 4, 1.0);
+  return mat::Csr<double>::from_coo(c);
+}
+
+TEST(Katz, ConvergesAndRespectsStructure) {
+  graph::PowerLawSpec s;
+  s.rows = 300;
+  s.cols = 300;
+  s.mean_nnz_per_row = 5.0;
+  s.alpha = 1.6;
+  s.max_row_nnz = 60;
+  s.seed = 14;
+  const auto a = graph::powerlaw_matrix(s);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a.transpose());
+  apps::KatzConfig cfg;
+  cfg.alpha = 0.02;  // well inside the convergence radius
+  const auto res = apps::katz_centrality(engine, cfg);
+  ASSERT_TRUE(res.converged);
+  // Every score at least beta; vertices with in-edges strictly above.
+  mat::index_t max_in = 0, argmax = 0;
+  std::vector<int> indeg(300, 0);
+  for (mat::index_t c : a.col_idx) ++indeg[static_cast<std::size_t>(c)];
+  for (mat::index_t v = 0; v < 300; ++v)
+    if (indeg[static_cast<std::size_t>(v)] > max_in) {
+      max_in = indeg[static_cast<std::size_t>(v)];
+      argmax = v;
+    }
+  for (double v : res.scores) EXPECT_GE(v, 1.0 - 1e-12);
+  // The max-in-degree vertex scores in the top decile.
+  std::vector<double> sorted = res.scores;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GE(res.scores[static_cast<std::size_t>(argmax)],
+            sorted[sorted.size() * 9 / 10]);
+}
+
+TEST(Katz, MatchesClosedFormOnChain) {
+  // 0 -> 1 -> 2: x = beta(1, 1, 1) + alpha A^T x gives
+  // x0 = b, x1 = b + a*x0, x2 = b + a*x1.
+  mat::Coo<double> c;
+  c.rows = 3;
+  c.cols = 3;
+  c.push(0, 1, 1.0);
+  c.push(1, 2, 1.0);
+  const auto a = mat::Csr<double>::from_coo(c);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a.transpose());
+  apps::KatzConfig cfg;
+  cfg.alpha = 0.5;
+  const auto res = apps::katz_centrality(engine, cfg);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.scores[0], 1.0, 1e-6);
+  EXPECT_NEAR(res.scores[1], 1.5, 1e-6);
+  EXPECT_NEAR(res.scores[2], 1.75, 1e-6);
+}
+
+TEST(Components, FindsKnownComponents) {
+  const auto a = two_triangles_and_isolated();
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a);
+  const auto res = apps::connected_components(engine, a);
+  EXPECT_EQ(res.num_components, 3);
+  EXPECT_EQ(res.label[0], res.label[1]);
+  EXPECT_EQ(res.label[1], res.label[2]);
+  EXPECT_EQ(res.label[3], res.label[4]);
+  EXPECT_NE(res.label[0], res.label[3]);
+  EXPECT_EQ(res.label[5], 5);
+  EXPECT_GT(res.total_s, 0.0);
+}
+
+TEST(Components, SingleComponentOnConnectedGraph) {
+  // Ring of 64 vertices.
+  mat::Coo<double> c;
+  c.rows = 64;
+  c.cols = 64;
+  for (mat::index_t v = 0; v < 64; ++v) c.push(v, (v + 1) % 64, 1.0);
+  const auto a = mat::Csr<double>::from_coo(c);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a);
+  const auto res = apps::connected_components(engine, a);
+  EXPECT_EQ(res.num_components, 1);
+  for (auto l : res.label) EXPECT_EQ(l, 0);
+}
+
+// --------------------------------------------------------------------------
+// SELL-C-sigma.
+
+TEST(Sell, MatchesReferenceAcrossSigmas) {
+  graph::PowerLawSpec s;
+  s.rows = 700;
+  s.cols = 700;
+  s.mean_nnz_per_row = 7.0;
+  s.alpha = 1.6;
+  s.max_row_nnz = 200;
+  s.seed = 99;
+  const auto a = graph::powerlaw_matrix(s);
+  std::vector<double> x(700);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.3 + (i % 5) * 0.2;
+  std::vector<double> ref;
+  a.spmv(x, ref);
+  for (mat::index_t sigma : {32, 128, 1024}) {
+    SCOPED_TRACE(sigma);
+    Device dev(DeviceSpec::gtx_titan());
+    spmv::SellEngine<double> e(dev, a, sigma);
+    std::vector<double> y;
+    e.simulate(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_NEAR(y[i], ref[i], 1e-9);
+    std::vector<double> ya;
+    e.apply(x, ya);
+    EXPECT_EQ(ya.size(), ref.size());
+  }
+}
+
+TEST(Sell, BiggerSigmaLessPadding) {
+  graph::PowerLawSpec s;
+  s.rows = 2000;
+  s.cols = 2000;
+  s.mean_nnz_per_row = 6.0;
+  s.alpha = 1.5;
+  s.max_row_nnz = 300;
+  s.seed = 123;
+  const auto a = graph::powerlaw_matrix(s);
+  Device d1(DeviceSpec::gtx_titan()), d2(DeviceSpec::gtx_titan());
+  spmv::SellEngine<double> narrow(d1, a, 32);     // no sorting benefit
+  spmv::SellEngine<double> wide(d2, a, 2016);     // near-global sort
+  EXPECT_LT(wide.report().padding_ratio, narrow.report().padding_ratio);
+}
+
+TEST(Sell, RejectsBadSigma) {
+  const auto a = two_triangles_and_isolated();
+  Device dev(DeviceSpec::gtx_titan());
+  EXPECT_THROW(spmv::SellEngine<double>(dev, a, 33), InputError);
+  EXPECT_THROW(spmv::SellEngine<double>(dev, a, 0), InputError);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Utility-layer tests: PRNG determinism and stream splitting, streaming
+// statistics, the log2 histogram (shared with ACSR binning), table
+// rendering, and the CLI parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace acsr;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng s1 = root.split(1);
+  Rng s2 = root.split(2);
+  Rng s1_again = root.split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+  // Splitting must not perturb the parent stream.
+  Rng fresh(7);
+  fresh.split(1);
+  Rng fresh2(7);
+  EXPECT_EQ(fresh.next_u64(), fresh2.next_u64());
+}
+
+TEST(Rng, UniformRangesRespected) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    ASSERT_LT(r.next_below(17), 17u);
+    const double x = r.next_double(2.0, 5.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 5.0);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng r(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads, 2500, 200);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-sigma example
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Log2Histogram, FrequenciesSumToOne) {
+  Log2Histogram h;
+  for (std::uint64_t v : {1ull, 1ull, 2ull, 3ull, 9ull, 1000ull}) h.add(v);
+  double total = 0;
+  for (std::size_t b = 0; b < h.num_buckets(); ++b) total += h.frequency(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(h.count(1), 3u);  // 1,1,2
+  EXPECT_EQ(h.count(2), 1u);  // 3
+  EXPECT_EQ(h.count(4), 1u);  // 9
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(GeoMean, MatchesHandComputation) {
+  GeoMean g;
+  g.add(2.0);
+  g.add(8.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  EXPECT_EQ(g.count(), 2u);
+  GeoMean empty;
+  EXPECT_EQ(empty.value(), 0.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer |    22 |"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(-12), "-12");
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--device=k10", "--scale=16", "--verbose",
+                        "--ratio=2.5"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_or("device", "titan"), "k10");
+  EXPECT_EQ(cli.get_int("scale", 64), 16);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 1.0), 2.5);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("absent"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), InputError);
+}
+
+TEST(Check, MacrosThrowTypedErrors) {
+  EXPECT_THROW([] { ACSR_CHECK(1 == 2); }(), InvariantError);
+  EXPECT_THROW([] { ACSR_REQUIRE(false, "bad input " << 42); }(),
+               InputError);
+  EXPECT_NO_THROW([] { ACSR_CHECK(true); }());
+  try {
+    ACSR_REQUIRE(false, "value " << 42);
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("value 42"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Generators and the dynamic-update machinery: determinism, shape targets,
+// the Table-I corpus, and update-batch invariants.
+#include <gtest/gtest.h>
+
+#include "graph/corpus.hpp"
+#include "graph/dynamic.hpp"
+#include "graph/powerlaw.hpp"
+#include "graph/rmat.hpp"
+
+namespace {
+
+using namespace acsr::graph;
+using acsr::mat::Csr;
+using acsr::mat::index_t;
+using acsr::mat::offset_t;
+
+TEST(Rmat, DeterministicAndShaped) {
+  RmatParams p;
+  p.scale = 10;
+  p.edges_per_vertex = 8.0;
+  p.seed = 42;
+  const auto a = rmat(p);
+  const auto b = rmat(p);
+  EXPECT_EQ(a.row_idx, b.row_idx);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.rows, 1024);
+  EXPECT_GT(a.nnz(), 4000);
+  // Skewed: the max out-degree should far exceed the mean.
+  const Csr<double> m = Csr<double>::from_coo(a);
+  const auto st = m.row_stats();
+  EXPECT_GT(static_cast<double>(st.max), 4.0 * st.mean);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  RmatParams p;
+  p.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_THROW(rmat(p), acsr::InputError);
+}
+
+TEST(PowerLaw, HitsMeanTarget) {
+  PowerLawSpec s;
+  s.rows = 4000;
+  s.cols = 4000;
+  s.mean_nnz_per_row = 10.0;
+  s.alpha = 1.7;
+  s.max_row_nnz = 800;
+  s.seed = 1;
+  const Csr<double> m = powerlaw_matrix(s);
+  const auto st = m.row_stats();
+  EXPECT_NEAR(st.mean, 10.0, 1.5);
+  EXPECT_GT(st.stddev, st.mean);              // heavy tail
+  EXPECT_GT(static_cast<double>(st.max), 0.5 * 800.0);  // injected tail
+}
+
+TEST(PowerLaw, UniformModeHasLowVariance) {
+  PowerLawSpec s;
+  s.rows = 4000;
+  s.cols = 4000;
+  s.mean_nnz_per_row = 8.0;
+  s.alpha = -1.0;  // uniform model
+  s.max_row_nnz = 15;
+  s.seed = 2;
+  const Csr<double> m = powerlaw_matrix(s);
+  const auto st = m.row_stats();
+  EXPECT_NEAR(st.mean, 8.0, 1.0);
+  EXPECT_LT(st.stddev, st.mean);
+  EXPECT_LE(st.max, 15);
+}
+
+TEST(PowerLaw, RowsSortedAndDeterministic) {
+  PowerLawSpec s;
+  s.rows = 500;
+  s.cols = 700;
+  s.mean_nnz_per_row = 6.0;
+  s.seed = 3;
+  const Csr<double> a = powerlaw_matrix(s);
+  const Csr<double> b = powerlaw_matrix(s);
+  EXPECT_TRUE(a.rows_sorted());
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(Corpus, HasAll17Matrices) {
+  const auto& corpus = table1_corpus();
+  EXPECT_EQ(corpus.size(), 17u);
+  EXPECT_EQ(corpus.front().abbrev, "AMZ");
+  EXPECT_EQ(corpus.back().abbrev, "RAL");
+  EXPECT_FALSE(corpus_entry("HOL").power_law == false);
+  EXPECT_FALSE(corpus_entry("AMZ").power_law);
+  EXPECT_THROW(corpus_entry("NOPE"), acsr::InputError);
+  // RAL is the rectangular one.
+  const auto& ral = corpus_entry("RAL");
+  EXPECT_GT(ral.paper_cols, 100 * ral.paper_rows);
+}
+
+TEST(Corpus, ScaledBuildPreservesShape) {
+  const auto& e = corpus_entry("ENR");
+  const Csr<double> m = build_matrix(e, 16, 42);
+  m.validate();
+  EXPECT_NEAR(static_cast<double>(m.rows),
+              static_cast<double>(e.paper_rows) / 16.0, 2.0);
+  const auto st = m.row_stats();
+  EXPECT_NEAR(st.mean, e.paper_mu, 0.35 * e.paper_mu);
+  EXPECT_GT(st.stddev, st.mean);  // power-law shape survives scaling
+}
+
+TEST(Corpus, RectangularEntryBuilds) {
+  const Csr<double> m = build_matrix(corpus_entry("RAL"), 64, 42);
+  m.validate();
+  EXPECT_GT(m.cols, 10 * m.rows);
+  const auto st = m.row_stats();
+  EXPECT_GT(st.mean, 1000.0);  // very wide rows survive scaling
+}
+
+class UpdateBatchTest : public ::testing::Test {
+ protected:
+  Csr<double> matrix() {
+    PowerLawSpec s;
+    s.rows = 800;
+    s.cols = 800;
+    s.mean_nnz_per_row = 7.0;
+    s.alpha = 1.7;
+    s.max_row_nnz = 150;
+    s.seed = 8;
+    return powerlaw_matrix(s);
+  }
+};
+
+TEST_F(UpdateBatchTest, BatchInvariants) {
+  const Csr<double> m = matrix();
+  UpdateParams p;
+  p.seed = 17;
+  const UpdateBatch<double> b = generate_update(m, p);
+  b.validate();
+  EXPECT_NEAR(static_cast<double>(b.rows.size()), 80.0, 2.0);
+  EXPECT_GT(b.num_deletes() + b.num_inserts(), 0u);
+  EXPECT_GT(b.bytes(), 0u);
+  // Change list is much smaller than the matrix itself (the paper's
+  // whole transfer-saving argument).
+  EXPECT_LT(b.bytes(), m.bytes() / 4);
+}
+
+TEST_F(UpdateBatchTest, DeletesExistInserstAbsent) {
+  const Csr<double> m = matrix();
+  UpdateParams p;
+  p.seed = 23;
+  const UpdateBatch<double> b = generate_update(m, p);
+  for (std::size_t i = 0; i < b.rows.size(); ++i) {
+    const auto r = static_cast<std::size_t>(b.rows[i]);
+    std::vector<index_t> row_cols(
+        m.col_idx.begin() + m.row_off[r],
+        m.col_idx.begin() + m.row_off[r + 1]);
+    for (offset_t k = b.del_off[i]; k < b.del_off[i + 1]; ++k)
+      EXPECT_TRUE(std::binary_search(row_cols.begin(), row_cols.end(),
+                                     b.del_cols[static_cast<std::size_t>(k)]))
+          << "delete of absent column";
+    // An inserted column may pre-exist in the row only if it is also being
+    // deleted (delete-then-reinsert); otherwise the row would end up with
+    // a duplicate column.
+    for (offset_t k = b.ins_off[i]; k < b.ins_off[i + 1]; ++k) {
+      const index_t c = b.ins_cols[static_cast<std::size_t>(k)];
+      if (std::binary_search(row_cols.begin(), row_cols.end(), c)) {
+        EXPECT_TRUE(std::binary_search(
+            b.del_cols.begin() + b.del_off[i],
+            b.del_cols.begin() + b.del_off[i + 1], c))
+            << "re-insert of live column " << c;
+      }
+    }
+  }
+}
+
+TEST_F(UpdateBatchTest, HostApplyPreservesInvariants) {
+  Csr<double> m = matrix();
+  const offset_t nnz0 = m.nnz();
+  UpdateParams p;
+  p.seed = 31;
+  const UpdateBatch<double> b = generate_update(m, p);
+  apply_update_host(m, b);
+  m.validate();
+  EXPECT_TRUE(m.rows_sorted());
+  // nnz roughly conserved (equal insert/delete odds).
+  EXPECT_NEAR(static_cast<double>(m.nnz()), static_cast<double>(nnz0),
+              0.1 * static_cast<double>(nnz0));
+}
+
+TEST_F(UpdateBatchTest, RepeatedEpochsStayValid) {
+  Csr<double> m = matrix();
+  for (int e = 0; e < 5; ++e) {
+    UpdateParams p;
+    p.seed = 100 + static_cast<std::uint64_t>(e);
+    const UpdateBatch<double> b = generate_update(m, p);
+    b.validate();
+    apply_update_host(m, b);
+    m.validate();
+    EXPECT_TRUE(m.rows_sorted());
+  }
+}
+
+TEST_F(UpdateBatchTest, UntouchedRowsUnchanged) {
+  Csr<double> m0 = matrix();
+  Csr<double> m = m0;
+  UpdateParams p;
+  p.seed = 57;
+  const UpdateBatch<double> b = generate_update(m, p);
+  apply_update_host(m, b);
+  std::vector<bool> touched(static_cast<std::size_t>(m.rows), false);
+  for (index_t r : b.rows) touched[static_cast<std::size_t>(r)] = true;
+  for (index_t r = 0; r < m.rows; ++r) {
+    if (touched[static_cast<std::size_t>(r)]) continue;
+    ASSERT_EQ(m.row_nnz(r), m0.row_nnz(r)) << "row " << r;
+    for (offset_t j = 0; j < m.row_nnz(r); ++j) {
+      const auto a = static_cast<std::size_t>(
+          m.row_off[static_cast<std::size_t>(r)] + j);
+      const auto o = static_cast<std::size_t>(
+          m0.row_off[static_cast<std::size_t>(r)] + j);
+      ASSERT_EQ(m.col_idx[a], m0.col_idx[o]);
+      ASSERT_EQ(m.vals[a], m0.vals[o]);
+    }
+  }
+}
+
+}  // namespace

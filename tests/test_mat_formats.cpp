@@ -1,0 +1,376 @@
+// Sparse container semantics: construction, conversion round-trips,
+// invariants, normalisations, the HYB split heuristic, and Matrix Market
+// I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/powerlaw.hpp"
+#include "mat/csr.hpp"
+#include "mat/dia.hpp"
+#include "mat/ell.hpp"
+#include "mat/hyb.hpp"
+#include "mat/mm_io.hpp"
+
+namespace {
+
+using namespace acsr::mat;
+using acsr::vgpu::HostModel;
+
+Coo<double> sample_coo() {
+  Coo<double> c;
+  c.rows = 4;
+  c.cols = 5;
+  c.push(2, 1, 3.0);
+  c.push(0, 0, 1.0);
+  c.push(0, 4, 2.0);
+  c.push(2, 1, 0.5);  // duplicate
+  c.push(3, 3, 4.0);
+  return c;
+}
+
+TEST(Coo, SortAndDedup) {
+  Coo<double> c = sample_coo();
+  EXPECT_FALSE(c.is_sorted());
+  c.sort();
+  EXPECT_TRUE(c.is_sorted());
+  c.sum_duplicates();
+  EXPECT_EQ(c.nnz(), 4);
+  // The duplicate (2,1) merged to 3.5.
+  bool found = false;
+  for (std::size_t i = 0; i < c.vals.size(); ++i)
+    if (c.row_idx[i] == 2 && c.col_idx[i] == 1) {
+      EXPECT_DOUBLE_EQ(c.vals[i], 3.5);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Coo, OutOfRangeEntryRejected) {
+  Coo<double> c;
+  c.rows = 2;
+  c.cols = 2;
+  EXPECT_THROW(c.push(2, 0, 1.0), acsr::InvariantError);
+  EXPECT_THROW(c.push(0, -1, 1.0), acsr::InvariantError);
+}
+
+TEST(Coo, SortChargesHostModel) {
+  Coo<double> c = sample_coo();
+  HostModel hm;
+  c.sort(&hm);
+  EXPECT_GT(hm.seconds(), 0.0);
+}
+
+TEST(Csr, FromCooRoundTrip) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  const Csr<double> m = Csr<double>::from_coo(c);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.row_nnz(0), 2);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  const Coo<double> back = m.to_coo();
+  EXPECT_EQ(back.row_idx, c.row_idx);
+  EXPECT_EQ(back.col_idx, c.col_idx);
+  EXPECT_EQ(back.vals, c.vals);
+}
+
+TEST(Csr, FromUnsortedCooSortsACopy) {
+  const Coo<double> c = sample_coo();  // unsorted, with duplicate kept
+  const Csr<double> m = Csr<double>::from_coo(c);
+  m.validate();
+  EXPECT_TRUE(m.rows_sorted() || m.nnz() == 5);  // duplicate cols allowed here
+  EXPECT_EQ(m.nnz(), 5);
+}
+
+TEST(Csr, SpmvMatchesManual) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  const Csr<double> m = Csr<double>::from_coo(c);
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  m.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 2.0 * 5);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.5 * 2);
+  EXPECT_DOUBLE_EQ(y[3], 4.0 * 4);
+}
+
+TEST(Csr, TransposeIsInvolution) {
+  acsr::graph::PowerLawSpec s;
+  s.rows = 300;
+  s.cols = 200;
+  s.mean_nnz_per_row = 5.0;
+  s.alpha = 1.8;
+  s.max_row_nnz = 50;
+  s.seed = 4;
+  const Csr<double> a = acsr::graph::powerlaw_matrix(s);
+  const Csr<double> att = a.transpose().transpose();
+  EXPECT_EQ(att.row_off, a.row_off);
+  EXPECT_EQ(att.col_idx, a.col_idx);
+  EXPECT_EQ(att.vals, a.vals);
+
+  // (A^T x)_j == sum_i A_ij x_i
+  std::vector<double> x(static_cast<std::size_t>(a.rows));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 + (i % 7);
+  std::vector<double> yt;
+  a.transpose().spmv(x, yt);
+  std::vector<double> ref(static_cast<std::size_t>(a.cols), 0.0);
+  for (index_t r = 0; r < a.rows; ++r)
+    for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i)
+      ref[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(i)])] +=
+          a.vals[static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(r)];
+  for (std::size_t j = 0; j < ref.size(); ++j)
+    EXPECT_NEAR(yt[j], ref[j], 1e-12);
+}
+
+TEST(Csr, RowNormalizeMakesRowsStochastic) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  Csr<double> m = Csr<double>::from_coo(c);
+  m.row_normalize();
+  for (index_t r = 0; r < m.rows; ++r) {
+    double s = 0;
+    for (offset_t i = m.row_off[static_cast<std::size_t>(r)];
+         i < m.row_off[static_cast<std::size_t>(r) + 1]; ++i)
+      s += m.vals[static_cast<std::size_t>(i)];
+    if (m.row_nnz(r) > 0) EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Csr, ColNormalizeMakesColsStochastic) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  Csr<double> m = Csr<double>::from_coo(c);
+  m.col_normalize();
+  std::vector<double> s(static_cast<std::size_t>(m.cols), 0.0);
+  for (std::size_t i = 0; i < m.vals.size(); ++i)
+    s[static_cast<std::size_t>(m.col_idx[i])] += m.vals[i];
+  for (double v : s) EXPECT_TRUE(v == 0.0 || std::abs(v - 1.0) < 1e-12);
+}
+
+TEST(Csr, RowStatsMatchDefinition) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  const Csr<double> m = Csr<double>::from_coo(c);
+  const RowStats st = m.row_stats();
+  EXPECT_DOUBLE_EQ(st.mean, 1.0);  // 4 nnz over 4 rows
+  EXPECT_EQ(st.max, 2);
+  EXPECT_EQ(st.histogram.total(), 4u);  // one bucket entry per row
+}
+
+TEST(Csr, ValidateCatchesCorruption) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  Csr<double> m = Csr<double>::from_coo(c);
+  Csr<double> bad = m;
+  bad.col_idx[0] = 99;  // out of range
+  EXPECT_THROW(bad.validate(), acsr::InvariantError);
+  bad = m;
+  bad.row_off[1] = 100;
+  EXPECT_THROW(bad.validate(), acsr::InvariantError);
+}
+
+TEST(Ell, PadsToWidthAndComputes) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  const Csr<double> m = Csr<double>::from_coo(c);
+  HostModel hm;
+  const Ell<double> e = Ell<double>::from_csr(m, &hm);
+  EXPECT_EQ(e.width, 2);
+  EXPECT_EQ(e.nnz(), m.nnz());
+  EXPECT_GT(e.padding_ratio(), 0.0);
+  EXPECT_GT(hm.seconds(), 0.0);
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y_ell, y_csr;
+  e.spmv(x, y_ell);
+  m.spmv(x, y_csr);
+  EXPECT_EQ(y_ell, y_csr);
+}
+
+TEST(Ell, RejectsExplosiveExpansion) {
+  Csr<double> m;
+  m.rows = 1000;
+  m.cols = 1000;
+  m.row_off.assign(1001, 0);
+  // One row with 1000 nnz, everything else 1 nnz.
+  for (int c = 0; c < 1000; ++c) {
+    m.col_idx.push_back(c);
+    m.vals.push_back(1.0);
+  }
+  m.row_off[1] = 1000;
+  for (int r = 2; r <= 1000; ++r) {
+    m.col_idx.push_back(0);
+    m.vals.push_back(1.0);
+    m.row_off[static_cast<std::size_t>(r)] =
+        m.row_off[static_cast<std::size_t>(r) - 1] + 1;
+  }
+  m.validate();
+  EXPECT_THROW(Ell<double>::from_csr(m), acsr::InputError);
+}
+
+TEST(Hyb, ChooseKHeuristic) {
+  // 100 rows with 4 nnz, 10 rows with 50 nnz; breakeven population 30
+  // means the widest width covering >= max(30, 110/3=36) rows is 4.
+  Csr<double> m;
+  m.rows = 110;
+  m.cols = 200;
+  m.row_off.assign(111, 0);
+  offset_t pos = 0;
+  for (int r = 0; r < 110; ++r) {
+    const int n = r < 100 ? 4 : 50;
+    for (int j = 0; j < n; ++j) {
+      m.col_idx.push_back(j);
+      m.vals.push_back(1.0);
+    }
+    pos += n;
+    m.row_off[static_cast<std::size_t>(r) + 1] = pos;
+  }
+  m.validate();
+  EXPECT_EQ(Hyb<double>::choose_k(m, 30), 4);
+  // The rows/3 floor keeps the threshold at 36 even with a tiny breakeven.
+  EXPECT_EQ(Hyb<double>::choose_k(m, 5), 4);
+
+  // With few enough rows that rows/3 < breakeven, the wide population can
+  // satisfy a small breakeven and k grows to the wide width.
+  Csr<double> small;
+  small.rows = 12;
+  small.cols = 100;
+  small.row_off.assign(13, 0);
+  offset_t p2 = 0;
+  for (int r = 0; r < 12; ++r) {
+    const int n = r < 4 ? 2 : 50;
+    for (int j = 0; j < n; ++j) {
+      small.col_idx.push_back(j);
+      small.vals.push_back(1.0);
+    }
+    p2 += n;
+    small.row_off[static_cast<std::size_t>(r) + 1] = p2;
+  }
+  small.validate();
+  EXPECT_EQ(Hyb<double>::choose_k(small, 6), 50);
+  EXPECT_EQ(Hyb<double>::choose_k(small, 10), 2);
+}
+
+TEST(Hyb, SplitsAndComputes) {
+  acsr::graph::PowerLawSpec s;
+  s.rows = 500;
+  s.cols = 500;
+  s.mean_nnz_per_row = 6.0;
+  s.alpha = 1.6;
+  s.max_row_nnz = 200;
+  s.seed = 9;
+  const Csr<double> m = acsr::graph::powerlaw_matrix(s);
+  HostModel hm;
+  const Hyb<double> h = Hyb<double>::from_csr(m, &hm, 64);
+  EXPECT_EQ(h.nnz(), m.nnz());
+  EXPECT_GT(h.coo.nnz(), 0);  // the tail spilled
+  EXPECT_TRUE(h.coo.is_sorted());
+  std::vector<double> x(500);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.5 + (i % 5);
+  std::vector<double> yh, yc;
+  h.spmv(x, yh);
+  m.spmv(x, yc);
+  for (std::size_t r = 0; r < yh.size(); ++r) EXPECT_NEAR(yh[r], yc[r], 1e-9);
+}
+
+TEST(Dia, BandedMatrixRoundTrip) {
+  // Tridiagonal matrix.
+  Csr<double> m;
+  m.rows = 50;
+  m.cols = 50;
+  m.row_off.assign(51, 0);
+  for (int r = 0; r < 50; ++r) {
+    for (int c = std::max(0, r - 1); c <= std::min(49, r + 1); ++c) {
+      m.col_idx.push_back(c);
+      m.vals.push_back(r == c ? 2.0 : -1.0);
+    }
+    m.row_off[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(m.col_idx.size());
+  }
+  m.validate();
+  const Dia<double> d = Dia<double>::from_csr(m);
+  EXPECT_EQ(d.offsets.size(), 3u);
+  std::vector<double> x(50, 1.0), yd, yc;
+  d.spmv(x, yd);
+  m.spmv(x, yc);
+  EXPECT_EQ(yd, yc);
+}
+
+TEST(Dia, RejectsUnstructured) {
+  acsr::graph::PowerLawSpec s;
+  s.rows = 200;
+  s.cols = 200;
+  s.mean_nnz_per_row = 5.0;
+  s.alpha = 1.8;
+  s.max_row_nnz = 40;
+  s.seed = 2;
+  const Csr<double> m = acsr::graph::powerlaw_matrix(s);
+  EXPECT_THROW(Dia<double>::from_csr(m, 16), acsr::InputError);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  Coo<double> c = sample_coo();
+  c.sort();
+  c.sum_duplicates();
+  std::stringstream ss;
+  write_matrix_market(c, ss);
+  const Coo<double> back = read_matrix_market(ss);
+  EXPECT_EQ(back.rows, c.rows);
+  EXPECT_EQ(back.cols, c.cols);
+  EXPECT_EQ(back.row_idx, c.row_idx);
+  EXPECT_EQ(back.col_idx, c.col_idx);
+  EXPECT_EQ(back.vals, c.vals);
+}
+
+TEST(MatrixMarket, SymmetricAndPattern) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const Coo<double> m = read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 3);  // (1,0),(0,1) mirrored + (2,2) diagonal once
+  for (double v : m.vals) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::stringstream a("not a matrix\n");
+  EXPECT_THROW(read_matrix_market(a), acsr::InputError);
+  std::stringstream b("%%MatrixMarket matrix array real general\n1 1\n1\n");
+  EXPECT_THROW(read_matrix_market(b), acsr::InputError);
+  std::stringstream trunc(
+      "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 5\n");
+  EXPECT_THROW(read_matrix_market(trunc), acsr::InputError);
+}
+
+TEST(HitsMatrix, CombinedStructure) {
+  Coo<double> c;
+  c.rows = 3;
+  c.cols = 3;
+  c.push(0, 1, 1.0);
+  c.push(1, 2, 1.0);
+  const Csr<double> a = Csr<double>::from_coo(c);
+  const Csr<double> h = make_hits_matrix(a);
+  h.validate();
+  EXPECT_EQ(h.rows, 6);
+  EXPECT_EQ(h.nnz(), 2 * a.nnz());
+  // [a;h]' = [[0,A^T],[A,0]] [a;h]: authority of node 1 = hub of node 0.
+  std::vector<double> v{0, 0, 0, 1, 2, 3}, y;  // a = 0, h = (1,2,3)
+  h.spmv(v, y);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);  // A^T h at node 1 <- edge 0->1 x h[0]
+  EXPECT_DOUBLE_EQ(y[2], 2.0);  // edge 1->2 x h[1]
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Matrix algebra helpers (mat/ops.hpp): diagonals, norms, union add,
+// slicing, symmetry, and structural deltas (incl. property checks against
+// the dynamic-update machinery).
+#include <gtest/gtest.h>
+
+#include "apps/cg.hpp"
+#include "graph/dynamic.hpp"
+#include "graph/powerlaw.hpp"
+#include "mat/ops.hpp"
+
+namespace {
+
+using namespace acsr::mat;
+
+Csr<double> small() {
+  Coo<double> c;
+  c.rows = 3;
+  c.cols = 3;
+  c.push(0, 0, 2.0);
+  c.push(0, 2, 1.0);
+  c.push(1, 1, -3.0);
+  c.push(2, 0, 4.0);
+  return Csr<double>::from_coo(c);
+}
+
+TEST(MatOps, ExtractDiagonal) {
+  const auto d = extract_diagonal(small());
+  EXPECT_EQ(d, (std::vector<double>{2.0, -3.0, 0.0}));
+}
+
+TEST(MatOps, FrobeniusNorm) {
+  EXPECT_DOUBLE_EQ(frobenius_norm(small()),
+                   std::sqrt(4.0 + 1.0 + 9.0 + 16.0));
+}
+
+TEST(MatOps, AddUnionAndCancellation) {
+  const auto a = small();
+  Csr<double> b = a;
+  scale(b, -1.0);
+  // a + (-a) cancels every entry out of the result.
+  const auto zero = add(a, b);
+  EXPECT_EQ(zero.nnz(), 0);
+  // 2a - a == a.
+  const auto same = add(a, a, 2.0, -1.0);
+  EXPECT_TRUE(approx_equal(same, a, 1e-12));
+  // Union sparsity: add a matrix with a disjoint entry.
+  Coo<double> extra;
+  extra.rows = 3;
+  extra.cols = 3;
+  extra.push(1, 2, 5.0);
+  const auto c = add(a, Csr<double>::from_coo(extra));
+  EXPECT_EQ(c.nnz(), a.nnz() + 1);
+}
+
+TEST(MatOps, AddRejectsShapeMismatch) {
+  Csr<double> b;
+  b.rows = 2;
+  b.cols = 3;
+  b.row_off.assign(3, 0);
+  EXPECT_THROW(add(small(), b), acsr::InvariantError);
+}
+
+TEST(MatOps, SpmvDistributesOverAdd) {
+  acsr::graph::PowerLawSpec s;
+  s.rows = 200;
+  s.cols = 200;
+  s.mean_nnz_per_row = 5.0;
+  s.seed = 4;
+  const auto a = acsr::graph::powerlaw_matrix(s);
+  s.seed = 9;
+  const auto b = acsr::graph::powerlaw_matrix(s);
+  const auto c = add(a, b, 2.0, 0.5);
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 + (i % 3);
+  std::vector<double> ya, yb, yc;
+  a.spmv(x, ya);
+  b.spmv(x, yb);
+  c.spmv(x, yc);
+  for (std::size_t i = 0; i < yc.size(); ++i)
+    EXPECT_NEAR(yc[i], 2.0 * ya[i] + 0.5 * yb[i], 1e-9);
+}
+
+TEST(MatOps, SymmetryPredicates) {
+  EXPECT_FALSE(is_symmetric(small()));
+  const auto lap = acsr::apps::laplacian_2d<double>(6, 5);
+  EXPECT_TRUE(is_symmetric(lap));
+  EXPECT_EQ(structural_bandwidth(lap), 6);  // the nx off-diagonal
+}
+
+TEST(MatOps, RowSlice) {
+  const auto a = small();
+  const auto s = row_slice(a, 1, 3);
+  EXPECT_EQ(s.rows, 2);
+  EXPECT_EQ(s.nnz(), 2);
+  std::vector<double> x{1, 2, 3}, y_full, y_slice;
+  a.spmv(x, y_full);
+  s.spmv(x, y_slice);
+  EXPECT_DOUBLE_EQ(y_slice[0], y_full[1]);
+  EXPECT_DOUBLE_EQ(y_slice[1], y_full[2]);
+  EXPECT_THROW(row_slice(a, 2, 1), acsr::InvariantError);
+}
+
+TEST(MatOps, StructuralDeltaMatchesUpdateBatch) {
+  acsr::graph::PowerLawSpec s;
+  s.rows = 500;
+  s.cols = 500;
+  s.mean_nnz_per_row = 6.0;
+  s.alpha = 1.6;
+  s.max_row_nnz = 80;
+  s.seed = 21;
+  Csr<double> before = acsr::graph::powerlaw_matrix(s);
+  Csr<double> after = before;
+  acsr::graph::UpdateParams p;
+  p.seed = 5;
+  const auto batch = acsr::graph::generate_update(after, p);
+  acsr::graph::apply_update_host(after, batch);
+  // Each delete and each insert is exactly one structural difference —
+  // except delete+reinsert of the same column, which cancels.
+  acsr::mat::offset_t reinserted = 0;
+  for (std::size_t i = 0; i < batch.rows.size(); ++i)
+    for (auto k = batch.ins_off[i]; k < batch.ins_off[i + 1]; ++k) {
+      const auto c = batch.ins_cols[static_cast<std::size_t>(k)];
+      if (std::binary_search(batch.del_cols.begin() + batch.del_off[i],
+                             batch.del_cols.begin() + batch.del_off[i + 1],
+                             c))
+        ++reinserted;
+    }
+  const auto expected = static_cast<acsr::mat::offset_t>(
+      batch.num_deletes() + batch.num_inserts()) - 2 * reinserted;
+  EXPECT_EQ(structural_delta(before, after), expected);
+  EXPECT_EQ(structural_delta(before, before), 0);
+}
+
+}  // namespace

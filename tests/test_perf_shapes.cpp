@@ -1,0 +1,172 @@
+// Performance-shape regression tests: pin the *qualitative* results of the
+// paper's evaluation so cost-model changes cannot silently invert them.
+// These use corpus-scaled device specs exactly as the benches do.
+#include <gtest/gtest.h>
+
+#include "bench/comparators.hpp"
+#include "core/multi_gpu.hpp"
+#include "graph/corpus.hpp"
+
+namespace {
+
+using namespace acsr;
+using bench::BenchContext;
+
+BenchContext make_ctx(const std::string& device = "titan") {
+  const char* argv[] = {"test"};
+  Cli cli(1, const_cast<char**>(argv));
+  BenchContext ctx = BenchContext::from_cli(cli, device);
+  ctx.scale = 64;
+  ctx.spec = vgpu::DeviceSpec::by_name(device).scaled_for_corpus(64);
+  ctx.engine_cfg.hyb_breakeven = 64;
+  return ctx;
+}
+
+template <class T>
+double gflops(const BenchContext& ctx, const std::string& abbrev,
+              const std::string& engine) {
+  vgpu::Device dev(ctx.spec);
+  const auto m = ctx.build<T>(graph::corpus_entry(abbrev));
+  auto e = core::make_engine<T>(engine, dev, m, ctx.engine_cfg);
+  return e->gflops();
+}
+
+TEST(PerfShapes, AcsrBeatsCuSparseCsrOnPowerLaw) {
+  const auto ctx = make_ctx();
+  // The short-row-dominated matrices are where warp-per-row CSR bleeds.
+  for (const char* m : {"YOT", "WEB", "CNR", "FLI"}) {
+    SCOPED_TRACE(m);
+    EXPECT_GT(gflops<float>(ctx, m, "acsr"),
+              1.25 * gflops<float>(ctx, m, "csr"));
+  }
+}
+
+TEST(PerfShapes, AcsrCompetitiveWithHybAndWinsOnAverage) {
+  const auto ctx = make_ctx();
+  GeoMean ratio;
+  for (const char* m : {"CNR", "EU2", "FLI", "HOL", "LIV", "WIK", "YOT"}) {
+    ratio.add(gflops<float>(ctx, m, "acsr") / gflops<float>(ctx, m, "hyb"));
+  }
+  EXPECT_GT(ratio.value(), 1.05);  // paper: 1.18x average
+  EXPECT_LT(ratio.value(), 1.8);   // and not implausibly large
+}
+
+TEST(PerfShapes, CsrScalarCollapsesOnPowerLaw) {
+  const auto ctx = make_ctx();
+  // Divergence: a warp runs at the pace of its longest row.
+  EXPECT_GT(gflops<float>(ctx, "WIK", "acsr"),
+            3.0 * gflops<float>(ctx, "WIK", "csr-scalar"));
+  EXPECT_GT(gflops<float>(ctx, "EU2", "acsr"),
+            2.0 * gflops<float>(ctx, "EU2", "csr-scalar"));
+}
+
+TEST(PerfShapes, DynamicParallelismRescuesFewHugeRows) {
+  const auto ctx = make_ctx();
+  // RAL: 66 rows x ~2600 nnz. Binning-only cannot occupy the device.
+  EXPECT_GT(gflops<float>(ctx, "RAL", "acsr"),
+            2.0 * gflops<float>(ctx, "RAL", "acsr-binning"));
+  // But on many-row matrices DP is roughly neutral.
+  const double hol_dp = gflops<float>(ctx, "HOL", "acsr");
+  const double hol_bin = gflops<float>(ctx, "HOL", "acsr-binning");
+  EXPECT_NEAR(hol_dp / hol_bin, 1.0, 0.15);
+}
+
+TEST(PerfShapes, PreprocessingOrderingMatchesFig4) {
+  const auto ctx = make_ctx();
+  const auto& e = graph::corpus_entry("EU2");
+  const double acsr = bench::measure_format(ctx, e, "acsr").pre_s;
+  const double hyb = bench::measure_format(ctx, e, "hyb").pre_s;
+  const double brc = bench::measure_format(ctx, e, "brc").pre_s;
+  const double tcoo = bench::measure_format(ctx, e, "tcoo").pre_s;
+  const double bccoo = bench::measure_format(ctx, e, "bccoo").pre_s;
+  EXPECT_LT(acsr, hyb);
+  EXPECT_LT(hyb, brc);
+  EXPECT_LT(brc, tcoo);
+  EXPECT_LT(tcoo, bccoo);
+  // ACSR's preprocessing is on the order of a few SpMVs (paper: ~3).
+  const auto acsr_t = bench::measure_format(ctx, e, "acsr");
+  EXPECT_LT(acsr_t.pre_s / acsr_t.spmv_s, 10.0);
+  // BCCOO's auto-tuning is at least four orders of magnitude.
+  const auto bccoo_t = bench::measure_format(ctx, e, "bccoo");
+  EXPECT_GT(bccoo_t.pre_s / bccoo_t.spmv_s, 1e4);
+}
+
+TEST(PerfShapes, CrossoverFormulaMatchesEq4) {
+  // PT_A + n ST_A <= PT_ACSR + n ST_ACSR at the returned n.
+  const auto n = bench::crossover_iterations(10.0, 1.0, 0.1, 2.0);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_NEAR(*n, 9.9, 1e-9);
+  EXPECT_NEAR(10.0 + *n * 1.0, 0.1 + *n * 2.0, 1e-9);
+  // Slower-or-equal SpMV never catches up.
+  EXPECT_FALSE(bench::crossover_iterations(10.0, 2.0, 0.1, 2.0).has_value());
+}
+
+TEST(PerfShapes, DoublePrecisionSlowerEverywhere) {
+  const auto ctx = make_ctx();
+  for (const char* m : {"EU2", "HOL"}) {
+    SCOPED_TRACE(m);
+    EXPECT_LT(gflops<double>(ctx, m, "acsr"), gflops<float>(ctx, m, "acsr"));
+    EXPECT_LT(gflops<double>(ctx, m, "hyb"), gflops<float>(ctx, m, "hyb"));
+  }
+}
+
+TEST(PerfShapes, Gtx580RunsOutOfMemoryOnUk2) {
+  const auto ctx = make_ctx("gtx580");
+  vgpu::Device dev(ctx.spec);
+  const auto m = ctx.build<double>(graph::corpus_entry("UK2"));
+  EXPECT_THROW(core::make_engine<double>("hyb", dev, m, ctx.engine_cfg),
+               vgpu::DeviceOom);
+}
+
+TEST(PerfShapes, TitanOutperformsOlderDevicesOnBigMatrices) {
+  const auto titan = make_ctx("titan");
+  const auto k10 = make_ctx("k10");
+  const auto gtx580 = make_ctx("gtx580");
+  const double t = gflops<float>(titan, "HOL", "acsr");
+  EXPECT_GT(t, gflops<float>(k10, "HOL", "acsr-binning"));
+  EXPECT_GT(t, gflops<float>(gtx580, "HOL", "acsr-binning"));
+}
+
+TEST(PerfShapes, K10DoublePrecisionCrippledByGk104) {
+  // GK104 runs DP at 1/24 rate; on a compute-leaning matrix the DP drop
+  // on K10 must exceed Titan's (1/3 rate).
+  const auto titan = make_ctx("titan");
+  const auto k10 = make_ctx("k10");
+  const double titan_drop = gflops<float>(titan, "HOL", "acsr-binning") /
+                            gflops<double>(titan, "HOL", "acsr-binning");
+  const double k10_drop = gflops<float>(k10, "HOL", "acsr-binning") /
+                          gflops<double>(k10, "HOL", "acsr-binning");
+  EXPECT_GE(k10_drop, titan_drop * 0.95);
+}
+
+TEST(PerfShapes, EllPaysPaddingBandwidth) {
+  const auto ctx = make_ctx();
+  // A matrix ELL accepts but with visible spread: padding inflates bytes.
+  vgpu::Device d1(ctx.spec), d2(ctx.spec);
+  const auto m = ctx.build<float>(graph::corpus_entry("DBL"));
+  auto ell = core::make_engine<float>("ell", d1, m, ctx.engine_cfg);
+  auto csr = core::make_engine<float>("csr-vector", d2, m, ctx.engine_cfg);
+  EXPECT_GT(ell->report().padding_ratio, 0.3);
+  EXPECT_GT(ell->report().device_bytes, csr->report().device_bytes);
+}
+
+TEST(PerfShapes, MultiGpuAverageNearPaper) {
+  const auto ctx = make_ctx("k10");
+  double sum = 0;
+  int n = 0;
+  for (const char* abbrev : {"EU2", "HOL", "LIV", "YOT"}) {
+    const auto m = ctx.build<float>(graph::corpus_entry(abbrev));
+    vgpu::Device single(ctx.spec);
+    core::AcsrEngine<float> one(single, m, ctx.engine_cfg.acsr);
+    vgpu::Device d0(ctx.spec), d1(ctx.spec);
+    core::MultiGpuAcsr<float> two({&d0, &d1}, m, ctx.engine_cfg.acsr);
+    std::vector<float> x(static_cast<std::size_t>(m.cols), 1.0f), y;
+    sum += one.simulate(x, y) / two.simulate(x, y);
+    ++n;
+  }
+  const double avg = sum / n;
+  EXPECT_GT(avg, 1.4);  // paper: 1.64x average
+  EXPECT_LE(avg, 2.05);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// CG solver and linear-algebra BFS on top of the SpMV engines.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/cg.hpp"
+#include "core/factory.hpp"
+#include "core/incremental_csr.hpp"
+#include "graph/dynamic.hpp"
+#include "graph/powerlaw.hpp"
+
+namespace {
+
+using namespace acsr;
+using vgpu::Device;
+using vgpu::DeviceSpec;
+
+TEST(Laplacian2d, StructureAndSymmetry) {
+  const auto a = apps::laplacian_2d<double>(5, 4);
+  a.validate();
+  EXPECT_EQ(a.rows, 20);
+  // Symmetric: A == A^T.
+  const auto at = a.transpose();
+  EXPECT_EQ(at.row_off, a.row_off);
+  EXPECT_EQ(at.col_idx, a.col_idx);
+  EXPECT_EQ(at.vals, a.vals);
+  // Diagonally dominant with 4 on the diagonal.
+  for (mat::index_t r = 0; r < a.rows; ++r) {
+    double diag = 0, off = 0;
+    for (mat::offset_t i = a.row_off[static_cast<std::size_t>(r)];
+         i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+      if (a.col_idx[static_cast<std::size_t>(i)] == r)
+        diag = a.vals[static_cast<std::size_t>(i)];
+      else
+        off += std::abs(a.vals[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_DOUBLE_EQ(diag, 4.0);
+    EXPECT_LE(off, 4.0);
+  }
+}
+
+TEST(ConjugateGradient, SolvesLaplacianSystem) {
+  const auto a = apps::laplacian_2d<double>(24, 24);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  const auto res = apps::conjugate_gradient(engine, b);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.iterations, 5);
+  EXPECT_GT(res.total_s, 0.0);
+  // Check the residual directly: ||A x - b|| small.
+  std::vector<double> ax;
+  a.spmv(res.x, ax);
+  double err = 0;
+  for (std::size_t i = 0; i < ax.size(); ++i)
+    err += (ax[i] - b[i]) * (ax[i] - b[i]);
+  EXPECT_LT(std::sqrt(err), 1e-6);
+}
+
+TEST(ConjugateGradient, EngineAgnosticSolution) {
+  const auto a = apps::laplacian_2d<double>(16, 16);
+  std::vector<double> b(static_cast<std::size_t>(a.rows));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + (i % 5) * 0.25;
+  Device d1(DeviceSpec::gtx_titan()), d2(DeviceSpec::gtx_titan());
+  core::EngineConfig cfg;
+  cfg.hyb_breakeven = 64;
+  auto acsr = core::make_engine<double>("acsr", d1, a, cfg);
+  auto hyb = core::make_engine<double>("hyb", d2, a, cfg);
+  const auto ra = apps::conjugate_gradient(*acsr, b);
+  const auto rh = apps::conjugate_gradient(*hyb, b);
+  EXPECT_EQ(ra.iterations, rh.iterations);
+  for (std::size_t i = 0; i < ra.x.size(); ++i)
+    EXPECT_NEAR(ra.x[i], rh.x[i], 1e-9);
+}
+
+TEST(ConjugateGradient, RejectsRectangular) {
+  graph::PowerLawSpec s;
+  s.rows = 40;
+  s.cols = 50;
+  s.mean_nnz_per_row = 4.0;
+  const auto a = graph::powerlaw_matrix(s);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a);
+  std::vector<double> b(40, 1.0);
+  EXPECT_THROW(apps::conjugate_gradient(engine, b), InvariantError);
+}
+
+TEST(Bfs, LevelsOnKnownChain) {
+  // 0 -> 1 -> 2 -> 3, plus 0 -> 2 shortcut; 4 isolated.
+  mat::Coo<double> c;
+  c.rows = 5;
+  c.cols = 5;
+  c.push(0, 1, 1.0);
+  c.push(0, 2, 1.0);
+  c.push(1, 2, 1.0);
+  c.push(2, 3, 1.0);
+  const auto a = mat::Csr<double>::from_coo(c);
+  Device dev(DeviceSpec::gtx_titan());
+  // BFS expands out-edges: engine holds A^T.
+  core::AcsrEngine<double> engine(dev, a.transpose());
+  const auto res = apps::bfs(engine, 0);
+  EXPECT_EQ(res.level, (std::vector<int>{0, 1, 1, 2, -1}));
+  EXPECT_EQ(res.depth, 2);
+  EXPECT_EQ(res.visited, 4u);
+  EXPECT_GT(res.total_s, 0.0);
+}
+
+TEST(Bfs, MatchesHostBfsOnPowerLaw) {
+  graph::PowerLawSpec s;
+  s.rows = 400;
+  s.cols = 400;
+  s.mean_nnz_per_row = 5.0;
+  s.alpha = 1.6;
+  s.max_row_nnz = 80;
+  s.seed = 6;
+  const auto a = graph::powerlaw_matrix(s);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a.transpose());
+  const auto res = apps::bfs(engine, 0);
+
+  // Reference: classic queue BFS over the same adjacency.
+  std::vector<int> ref(static_cast<std::size_t>(a.rows), -1);
+  std::vector<mat::index_t> frontier{0};
+  ref[0] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<mat::index_t> next;
+    for (mat::index_t u : frontier)
+      for (mat::offset_t i = a.row_off[static_cast<std::size_t>(u)];
+           i < a.row_off[static_cast<std::size_t>(u) + 1]; ++i) {
+        const mat::index_t v = a.col_idx[static_cast<std::size_t>(i)];
+        if (ref[static_cast<std::size_t>(v)] < 0) {
+          ref[static_cast<std::size_t>(v)] = depth;
+          next.push_back(v);
+        }
+      }
+    frontier = std::move(next);
+  }
+  EXPECT_EQ(res.level, ref);
+}
+
+TEST(Bfs, SourceValidation) {
+  const auto a = apps::laplacian_2d<double>(4, 4);
+  Device dev(DeviceSpec::gtx_titan());
+  core::AcsrEngine<double> engine(dev, a);
+  EXPECT_THROW(apps::bfs(engine, -1), InvariantError);
+  EXPECT_THROW(apps::bfs(engine, 16), InvariantError);
+}
+
+TEST(UpdateKernelModes, BothProduceIdenticalState) {
+  graph::PowerLawSpec s;
+  s.rows = 300;
+  s.cols = 300;
+  s.mean_nnz_per_row = 6.0;
+  s.alpha = 1.6;
+  s.max_row_nnz = 60;
+  s.seed = 12;
+  mat::Csr<double> truth = graph::powerlaw_matrix(s);
+  Device d1(DeviceSpec::gtx_titan()), d2(DeviceSpec::gtx_titan());
+  core::IncrementalCsr<double> lane0(
+      d1, truth, 0.5, 0.1, core::UpdateKernelMode::kWarpPerRowLane0);
+  core::IncrementalCsr<double> divergent(
+      d2, truth, 0.5, 0.1, core::UpdateKernelMode::kThreadPerRow);
+  graph::UpdateParams p;
+  p.seed = 77;
+  const auto batch = graph::generate_update(truth, p);
+  graph::apply_update_host(truth, batch);
+  lane0.apply_update(batch);
+  divergent.apply_update(batch);
+  const auto a = lane0.to_csr();
+  const auto b = divergent.to_csr();
+  EXPECT_EQ(a.col_idx, truth.col_idx);
+  EXPECT_EQ(b.col_idx, truth.col_idx);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Edge cases across the vgpu substrate: buffer ownership moves, shared-
+// memory regions, launch validation, zero-fill accounting, scalar loads,
+// and the serial-gmem path used by the update kernel.
+#include <gtest/gtest.h>
+
+#include "spmv/engine.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using namespace acsr::vgpu;
+
+TEST(DeviceBufferEdge, MoveTransfersOwnershipAndReleasesArena) {
+  Device dev(DeviceSpec::gtx_titan());
+  const std::size_t before = dev.arena().allocated();
+  {
+    auto a = dev.alloc<double>(1000, "a");
+    EXPECT_GT(dev.arena().allocated(), before);
+    auto b = std::move(a);
+    EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.size(), 1000u);
+    // Move-assign over an existing buffer releases the old allocation.
+    auto c = dev.alloc<double>(500, "c");
+    const std::size_t with_both = dev.arena().allocated();
+    c = std::move(b);
+    EXPECT_LT(dev.arena().allocated(), with_both);
+  }
+  EXPECT_EQ(dev.arena().allocated(), before);  // full cleanup on scope exit
+}
+
+TEST(DeviceBufferEdge, UploadChargesTransfer) {
+  Device dev(DeviceSpec::gtx_titan());
+  const double t0 = dev.transfer_seconds();
+  std::vector<float> host(4096, 1.5f);
+  auto b = dev.upload(host, "u");
+  EXPECT_GT(dev.transfer_seconds(), t0);
+  EXPECT_EQ(b.host()[10], 1.5f);
+  dev.reset_transfer_stats();
+  EXPECT_EQ(dev.transfer_bytes(), 0u);
+}
+
+TEST(BlockShared, RegionsAreIndependentAndZeroed) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  dev.launch(cfg, [&](Block& blk) {
+    auto a = blk.shared<double>(8);
+    auto b = blk.shared<int>(16);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(a[i], 0.0);
+    for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(b[i], 0);
+    a[3] = 7.5;
+    b[3] = 9;
+    EXPECT_EQ(a[3], 7.5);  // no aliasing between regions
+    EXPECT_EQ(b[3], 9);
+    EXPECT_NE(a.addr(), b.addr());
+  });
+}
+
+TEST(LaunchValidation, RejectsBadGeometry) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig bad_grid;
+  bad_grid.grid_dim = 0;
+  EXPECT_THROW(dev.launch(bad_grid, [](Block&) {}), acsr::InvariantError);
+  LaunchConfig bad_block;
+  bad_block.block_dim = 2048;  // above max_threads_per_block
+  EXPECT_THROW(dev.launch(bad_block, [](Block&) {}), acsr::InvariantError);
+}
+
+TEST(ZeroFill, WritesAndChargesCoalescedStores) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto y = dev.alloc<double>(1000, "y");
+  for (auto& v : y.host()) v = 3.0;
+  const KernelRun run = acsr::spmv::zero_fill(dev, y.span());
+  for (double v : y.host()) EXPECT_EQ(v, 0.0);
+  // 1000 x 8 B = 8000 B = 250 sectors, each written once.
+  EXPECT_EQ(run.counters.gmem_transactions, 250u);
+  EXPECT_GT(run.duration_s, 0.0);
+}
+
+TEST(ScalarLoad, BroadcastsAndCountsOneTransaction) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto buf = dev.alloc<int>(64, "b");
+  buf.host()[7] = 42;
+  auto span = buf.cspan();
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  const KernelRun run = dev.launch_warps(cfg, [&](Warp& w) {
+    EXPECT_EQ(w.load_scalar(span, 7), 42);
+  });
+  EXPECT_EQ(run.counters.gmem_transactions, 1u);
+}
+
+TEST(SerialGmem, ChargesSectorPerAccess) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  const KernelRun run = dev.launch_warps(cfg, [&](Warp& w) {
+    w.count_serial_gmem(17);
+  });
+  EXPECT_EQ(run.counters.gmem_transactions, 17u);
+  EXPECT_EQ(run.counters.gmem_bytes, 17u * 32u);
+}
+
+TEST(PartialBlock, LastWarpMaskAppliesToWork) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto out = dev.alloc<int>(48, "o");
+  auto span = out.span();
+  LaunchConfig cfg;
+  cfg.block_dim = 48;  // warp 1 has 16 live lanes
+  dev.launch_warps(cfg, [&](Warp& w) {
+    w.store(span, w.global_threads(), LaneArray<int>::filled(1),
+            w.active_mask());
+  });
+  int written = 0;
+  for (int v : out.host()) written += v;
+  EXPECT_EQ(written, 48);
+}
+
+TEST(CountersAccumulate, PlusEqualsSumsEveryField) {
+  Counters a, b;
+  a.warps = 3;
+  a.gmem_bytes = 100;
+  a.child_launches = 2;
+  b.warps = 4;
+  b.gmem_bytes = 50;
+  b.atomic_ops = 7;
+  a += b;
+  EXPECT_EQ(a.warps, 7u);
+  EXPECT_EQ(a.gmem_bytes, 150u);
+  EXPECT_EQ(a.child_launches, 2u);
+  EXPECT_EQ(a.atomic_ops, 7u);
+}
+
+}  // namespace

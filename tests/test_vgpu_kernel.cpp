@@ -1,0 +1,275 @@
+// Kernel execution & cost model: grid geometry, block phases as barriers,
+// dynamic parallelism (incl. pending-launch limit and the CC < 3.5 guard),
+// the roofline terms, and timeline composition.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using namespace acsr::vgpu;
+
+TEST(KernelExec, GridGeometry) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.grid_dim = 5;
+  cfg.block_dim = 96;  // 3 warps
+  std::vector<int> seen_blocks;
+  long long warp_count = 0;
+  const KernelRun run = dev.launch(cfg, [&](Block& blk) {
+    seen_blocks.push_back(static_cast<int>(blk.block_idx()));
+    EXPECT_EQ(blk.block_dim(), 96);
+    EXPECT_EQ(blk.grid_dim(), 5);
+    EXPECT_EQ(blk.warps_per_block(), 3);
+    blk.each_warp([&](Warp& w) {
+      ++warp_count;
+      EXPECT_EQ(w.active_mask(), kFullMask);  // 96 divisible by 32
+    });
+  });
+  EXPECT_EQ(seen_blocks.size(), 5u);
+  EXPECT_EQ(warp_count, 15);
+  EXPECT_EQ(run.counters.blocks, 5u);
+  EXPECT_EQ(run.counters.warps, 15u);
+}
+
+TEST(KernelExec, PartialLastWarpMask) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.block_dim = 40;  // one full warp + 8 live lanes
+  Mask masks[2] = {0, 0};
+  dev.launch(cfg, [&](Block& blk) {
+    blk.each_warp([&](Warp& w) {
+      masks[w.warp_in_block()] = w.active_mask();
+    });
+  });
+  EXPECT_EQ(masks[0], kFullMask);
+  EXPECT_EQ(masks[1], first_lanes(8));
+}
+
+TEST(KernelExec, GlobalThreadIds) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.grid_dim = 3;
+  cfg.block_dim = 64;
+  std::vector<long long> ids;
+  dev.launch(cfg, [&](Block& blk) {
+    blk.each_warp([&](Warp& w) {
+      const auto t = w.global_threads();
+      ids.push_back(t[0]);
+    });
+  });
+  EXPECT_EQ(ids, (std::vector<long long>{0, 32, 64, 96, 128, 160}));
+}
+
+TEST(KernelExec, EachWarpPhasesActAsBarrier) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.block_dim = 128;
+  dev.launch(cfg, [&](Block& blk) {
+    auto shared = blk.shared<int>(4);
+    blk.each_warp([&](Warp& w) {
+      shared[static_cast<std::size_t>(w.warp_in_block())] =
+          w.warp_in_block() + 1;
+    });
+    blk.sync();
+    blk.each_warp([&](Warp& w) {
+      if (w.warp_in_block() != 0) return;
+      int total = 0;
+      for (std::size_t i = 0; i < 4; ++i) total += shared[i];
+      EXPECT_EQ(total, 1 + 2 + 3 + 4);  // all phase-1 writes visible
+    });
+  });
+}
+
+TEST(DynamicParallelism, ChildrenExecuteAndAreCounted) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto out = dev.alloc<int>(64, "out");
+  auto out_span = out.span();
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  const KernelRun run = dev.launch_warps(cfg, [&](Warp& w) {
+    for (int l = 0; l < 2; ++l) {
+      LaunchConfig child;
+      child.grid_dim = 2;
+      child.block_dim = 32;
+      const int base = l * 32;
+      w.launch_child(child, [out_span, base](Block& blk) {
+        blk.each_warp([&](Warp& cw) {
+          const auto idx = LaneArray<long long>::iota(
+              base / 2 + blk.block_idx() * 8);
+          cw.store(out_span, idx, LaneArray<int>::filled(1),
+                   first_lanes(8));
+        });
+      });
+    }
+  });
+  EXPECT_EQ(run.counters.child_launches, 2u);
+  EXPECT_EQ(run.counters.child_blocks, 4u);
+  EXPECT_GT(run.dp_s, 0.0);
+  int written = 0;
+  for (int v : out.host()) written += v;
+  EXPECT_GT(written, 0);
+}
+
+TEST(DynamicParallelism, NestedChildrenAllowed) {
+  Device dev(DeviceSpec::gtx_titan());
+  int depth2_runs = 0;
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  dev.launch_warps(cfg, [&](Warp& w) {
+    w.launch_child({1, 32, "child"}, [&](Block& blk) {
+      blk.each_warp([&](Warp& cw) {
+        cw.launch_child({1, 32, "grandchild"}, [&](Block&) {
+          ++depth2_runs;
+        });
+      });
+    });
+  });
+  EXPECT_EQ(depth2_runs, 1);
+}
+
+TEST(DynamicParallelism, RejectedOnFermi) {
+  Device dev(DeviceSpec::gtx580());
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  EXPECT_THROW(dev.launch_warps(cfg,
+                                [&](Warp& w) {
+                                  w.launch_child({1, 32, "child"},
+                                                 [](Block&) {});
+                                }),
+               acsr::InvariantError);
+}
+
+TEST(DynamicParallelism, PendingLaunchLimitPenalty) {
+  DeviceSpec spec = DeviceSpec::gtx_titan();
+  spec.pending_launch_limit = 4;
+  Device dev(spec);
+  auto run_with_children = [&](int n_children) {
+    LaunchConfig cfg;
+    cfg.block_dim = 32;
+    return dev.launch_warps(cfg, [&](Warp& w) {
+      for (int i = 0; i < n_children; ++i)
+        w.launch_child({1, 32, "c"}, [](Block&) {});
+    });
+  };
+  const KernelRun under = run_with_children(4);
+  const KernelRun over = run_with_children(8);
+  // Per-launch cost beyond the limit must exceed the within-limit rate.
+  const double under_per = under.dp_s / 4.0;
+  const double over_extra = (over.dp_s - under.dp_s) / 4.0;
+  EXPECT_GT(over_extra, under_per * 2.0);
+}
+
+TEST(CostModel, MemoryBoundKernelScalesWithBytes) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto big = dev.alloc<double>(1 << 20, "big");
+  auto big_span = big.cspan();
+  auto run_streaming = [&](long long warps) {
+    LaunchConfig cfg;
+    cfg.grid_dim = warps;
+    cfg.block_dim = 32;
+    return dev.launch_warps(cfg, [&](Warp& w) {
+      const auto idx =
+          LaneArray<long long>::iota(w.global_warp() * 32);
+      (void)w.load(big_span, idx, kFullMask);
+    });
+  };
+  const KernelRun r1 = run_streaming(1024);
+  const KernelRun r2 = run_streaming(8192);
+  EXPECT_GT(r2.memory_s, r1.memory_s * 7.0);
+  EXPECT_LT(r2.memory_s, r1.memory_s * 9.0);
+}
+
+TEST(CostModel, TinyGridsCannotSaturateDram) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto buf = dev.alloc<double>(1 << 16, "buf");
+  auto span = buf.cspan();
+  // One warp streaming alone: far too little memory-level parallelism to
+  // saturate DRAM, so the kernel is much slower than bytes / peak-BW.
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  const KernelRun run = dev.launch_warps(cfg, [&](Warp& w) {
+    for (int i = 0; i < 512; ++i) {
+      const auto idx = LaneArray<long long>::iota(i * 32);
+      (void)w.load(span, idx, kFullMask);
+    }
+  });
+  const double at_peak =
+      run.dram_bytes /
+      (dev.spec().dram_bandwidth_gbs * 1e9 * dev.spec().dram_efficiency);
+  EXPECT_GT(run.memory_s, 10.0 * at_peak);
+  EXPECT_GT(run.latency_s, run.issue_s);  // and its chain beats its issues
+}
+
+TEST(CostModel, DoublePrecisionFlopsCostMore) {
+  Device dev(DeviceSpec::tesla_k10());  // 1/24 DP rate: the gap is obvious
+  LaunchConfig cfg;
+  cfg.grid_dim = 256;
+  cfg.block_dim = 128;
+  auto flops_kernel = [&](bool dp) {
+    return dev.launch_warps(cfg, [&](Warp& w) {
+      for (int i = 0; i < 64; ++i) w.count_flops(kFullMask, 2, dp);
+    });
+  };
+  const KernelRun sp = flops_kernel(false);
+  const KernelRun dp = flops_kernel(true);
+  EXPECT_GT(dp.flop_s, sp.flop_s * 20.0);
+}
+
+TEST(CostModel, TextureFootprintDrivesMissRate) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto small_x = dev.alloc<float>(1024, "xs");          // fits in cache
+  auto large_x = dev.alloc<float>(32 << 20, "xl");      // 128 MB: misses
+  auto small_span = small_x.cspan();
+  auto large_span = large_x.cspan();
+  acsr::Rng rng(5);
+  std::vector<long long> scatter(32);
+  auto gather = [&](auto span, std::size_t range) {
+    LaunchConfig cfg;
+    cfg.grid_dim = 512;
+    cfg.block_dim = 32;
+    return dev.launch_warps(cfg, [&](Warp& w) {
+      LaneArray<long long> idx;
+      for (int l = 0; l < 32; ++l)
+        idx[l] = static_cast<long long>(rng.next_below(range));
+      (void)w.load_tex(span, idx, kFullMask);
+    });
+  };
+  const KernelRun small = gather(small_span, 1024);
+  const KernelRun large = gather(large_span, 32 << 20);
+  // Same request counts, very different DRAM pressure.
+  EXPECT_GT(large.memory_s, small.memory_s * 3.0);
+}
+
+TEST(Timeline, SequentialVsConcurrent) {
+  Device dev(DeviceSpec::gtx_titan());
+  auto buf = dev.alloc<double>(1 << 18, "buf");
+  auto span = buf.cspan();
+  std::vector<KernelRun> runs;
+  for (int k = 0; k < 4; ++k) {
+    LaunchConfig cfg;
+    cfg.grid_dim = 64;
+    cfg.block_dim = 32;
+    runs.push_back(dev.launch_warps(cfg, [&](Warp& w) {
+      const auto idx = LaneArray<long long>::iota(
+          (w.global_warp() * 32) % (1 << 17));
+      (void)w.load(span, idx, kFullMask);
+    }));
+  }
+  const double seq = combine_sequential(runs);
+  const double conc = combine_concurrent(runs, dev.spec());
+  EXPECT_LT(conc, seq);  // four launch overheads collapse to one + gaps
+  EXPECT_GT(conc, 0.0);
+  EXPECT_EQ(combine_concurrent({}, dev.spec()), 0.0);
+}
+
+TEST(Timeline, LaunchOverheadFloorsKernelTime) {
+  Device dev(DeviceSpec::gtx_titan());
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  const KernelRun run = dev.launch_warps(cfg, [](Warp&) {});
+  EXPECT_GE(run.duration_s, dev.spec().host_launch_overhead_s);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// The vote/shuffle/scan warp primitives behind the segmented-reduction
+// kernels: semantics pinned against hand-computed references, including
+// sub-group widths, partial masks, and segment boundaries.
+#include <gtest/gtest.h>
+
+#include "vgpu/device.hpp"
+
+namespace {
+
+using namespace acsr::vgpu;
+
+class WarpPrimitives : public ::testing::Test {
+ protected:
+  WarpPrimitives() : dev(DeviceSpec::gtx_titan()) {}
+
+  template <class F>
+  KernelRun run_warp(F&& fn) {
+    LaunchConfig cfg;
+    cfg.block_dim = 32;
+    return dev.launch_warps(cfg, fn);
+  }
+
+  Device dev;
+};
+
+TEST_F(WarpPrimitives, BallotMatchesPredicate) {
+  run_warp([&](Warp& w) {
+    const Mask even =
+        w.ballot([](int l) { return l % 2 == 0; }, kFullMask);
+    EXPECT_EQ(even, 0x55555555u);
+    const Mask low = w.ballot([](int l) { return l < 4; }, first_lanes(16));
+    EXPECT_EQ(low, 0xFu);
+    // Inactive lanes never vote.
+    const Mask none = w.ballot([](int) { return true; }, 0);
+    EXPECT_EQ(none, 0u);
+  });
+}
+
+TEST_F(WarpPrimitives, ShflUpSemantics) {
+  run_warp([&](Warp& w) {
+    const auto v = LaneArray<int>::iota();
+    const auto s = w.shfl_up(v, 3);
+    EXPECT_EQ(s[0], 0);  // below the edge: unchanged
+    EXPECT_EQ(s[2], 2);
+    EXPECT_EQ(s[3], 0);
+    EXPECT_EQ(s[31], 28);
+    const auto g = w.shfl_up(v, 2, 8);  // sub-groups of 8
+    EXPECT_EQ(g[8], 8);                 // group edge
+    EXPECT_EQ(g[10], 8);
+    EXPECT_EQ(g[15], 13);
+  });
+}
+
+TEST_F(WarpPrimitives, ShflXorButterfly) {
+  run_warp([&](Warp& w) {
+    const auto v = LaneArray<int>::iota();
+    const auto s = w.shfl_xor(v, 1);
+    EXPECT_EQ(s[0], 1);
+    EXPECT_EQ(s[1], 0);
+    EXPECT_EQ(s[30], 31);
+    const auto s16 = w.shfl_xor(v, 16);
+    EXPECT_EQ(s16[0], 16);
+    EXPECT_EQ(s16[20], 4);
+  });
+}
+
+TEST_F(WarpPrimitives, InclusiveScanAdd) {
+  run_warp([&](Warp& w) {
+    const auto v = LaneArray<double>::filled(1.0);
+    const auto s = w.inclusive_scan_add(v, kFullMask);
+    for (int l = 0; l < kWarpSize; ++l)
+      EXPECT_DOUBLE_EQ(s[l], static_cast<double>(l + 1)) << "lane " << l;
+  });
+}
+
+TEST_F(WarpPrimitives, InclusiveScanSkipsInactive) {
+  run_warp([&](Warp& w) {
+    auto v = LaneArray<double>::filled(2.0);
+    const auto s = w.inclusive_scan_add(v, first_lanes(5));
+    EXPECT_DOUBLE_EQ(s[4], 10.0);
+    EXPECT_DOUBLE_EQ(s[10], 10.0);  // inactive contribute zero
+  });
+}
+
+TEST_F(WarpPrimitives, SegmentedScanStopsAtHeads) {
+  run_warp([&](Warp& w) {
+    const auto v = LaneArray<double>::filled(1.0);
+    // Segments: [0..9], [10..19], [20..31].
+    const Mask heads = lane_bit(0) | lane_bit(10) | lane_bit(20);
+    const auto s = w.segmented_scan_add(v, heads, kFullMask);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+    EXPECT_DOUBLE_EQ(s[9], 10.0);
+    EXPECT_DOUBLE_EQ(s[10], 1.0);  // reset at segment head
+    EXPECT_DOUBLE_EQ(s[19], 10.0);
+    EXPECT_DOUBLE_EQ(s[20], 1.0);
+    EXPECT_DOUBLE_EQ(s[31], 12.0);
+  });
+}
+
+TEST_F(WarpPrimitives, SegmentedScanSingleLaneSegments) {
+  run_warp([&](Warp& w) {
+    const auto v = LaneArray<double>::iota(1.0);
+    const auto s = w.segmented_scan_add(v, kFullMask, kFullMask);
+    // Every lane its own segment: identity.
+    for (int l = 0; l < kWarpSize; ++l)
+      EXPECT_DOUBLE_EQ(s[l], static_cast<double>(l + 1));
+  });
+}
+
+TEST_F(WarpPrimitives, SegmentedScanMatchesSequentialReference) {
+  run_warp([&](Warp& w) {
+    LaneArray<double> v;
+    for (int l = 0; l < kWarpSize; ++l) v[l] = 0.5 + (l % 7);
+    const Mask heads =
+        lane_bit(0) | lane_bit(3) | lane_bit(4) | lane_bit(17) | lane_bit(29);
+    const auto s = w.segmented_scan_add(v, heads, kFullMask);
+    double acc = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (lane_active(heads, l)) acc = 0;
+      acc += v[l];
+      EXPECT_DOUBLE_EQ(s[l], acc) << "lane " << l;
+    }
+  });
+}
+
+TEST_F(WarpPrimitives, ScanChargesShuffleInstructions) {
+  const KernelRun run = run_warp([&](Warp& w) {
+    (void)w.inclusive_scan_add(LaneArray<double>::filled(1.0), kFullMask);
+  });
+  EXPECT_EQ(run.counters.shuffle_ops, 5u);  // log2(32) Hillis-Steele steps
+  EXPECT_GT(run.counters.dp_flops, 0u);
+}
+
+}  // namespace
