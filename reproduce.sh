@@ -1,17 +1,39 @@
 #!/usr/bin/env bash
 # Reproduce every result in the repository from scratch:
-#   ./reproduce.sh [results_dir]
+#   ./reproduce.sh [--quick] [results_dir]
 # Builds, runs the full test suite, regenerates every table and figure
 # (one file per bench), and runs each example. Set ACSR_SCALE to change
 # the corpus reduction factor (default 64; smaller = bigger matrices).
+#
+# --quick: build + tier-1 tests + the fixed-seed differential fuzz
+# harness only (the CI gate; see docs/TESTING.md). No benches/examples.
 set -euo pipefail
+
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+  quick=1
+  shift
+fi
 
 out="${1:-results}"
 mkdir -p "$out"
 
 echo "== configure + build"
-cmake -B build -G Ninja > "$out/cmake.log"
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build > "$out/cmake.log"  # reuse the cached generator
+else
+  cmake -B build -G Ninja > "$out/cmake.log"
+fi
 cmake --build build >> "$out/cmake.log"
+
+if [ "$quick" = 1 ]; then
+  echo "== tier-1 tests"
+  ctest --test-dir build -L tier1 2>&1 | tee "$out/tests_tier1.txt" | tail -2
+  echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014})"
+  ctest --test-dir build -L fuzz 2>&1 | tee "$out/tests_fuzz.txt" | tail -2
+  echo "done — quick gate passed, outputs in $out/"
+  exit 0
+fi
 
 echo "== tests"
 ctest --test-dir build 2>&1 | tee "$out/tests.txt" | tail -2

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: configure, build, run the tier-1 test label, then the
+# cross-engine differential fuzz harness at a fixed seed. Fails on the
+# first broken step. See docs/TESTING.md for the label scheme.
+#
+# Usage: scripts/check.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+echo "== configure"
+if [ -f "$build/CMakeCache.txt" ]; then
+  cmake -B "$build"  # reuse whatever generator the cache was made with
+else
+  cmake -B "$build" -G Ninja
+fi
+
+echo "== build"
+cmake --build "$build"
+
+echo "== tier-1 tests (ctest -L tier1)"
+ctest --test-dir "$build" -L tier1 --output-on-failure
+
+echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014}, ${ACSR_FUZZ_MATRICES:-200} matrices)"
+ACSR_FUZZ_SEED="${ACSR_FUZZ_SEED:-2014}" \
+ACSR_FUZZ_MATRICES="${ACSR_FUZZ_MATRICES:-200}" \
+  ctest --test-dir "$build" -L fuzz --output-on-failure
+
+echo "check.sh: all gates green"

@@ -218,6 +218,9 @@ class BccooEngine final : public EngineBase<T> {
       xd.host() = x;
       auto yd = this->dev_.template alloc<T>(
           static_cast<std::size_t>(a.rows), "b.y");
+      // The kernel accumulates with atomics, so trial runs must clear y
+      // like the real SpMV does (an atomic RMW reads the old value).
+      zero_fill(this->dev_, yd.span());
       const double t1 = run_kernel(xd.cspan(), yd.span()).duration_s;
       // Every configuration sharing this width still pays codegen +
       // compile + its own timed trials; their kernel times vary little,

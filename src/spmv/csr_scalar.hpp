@@ -4,6 +4,8 @@
 // the matrix arrays, both of which the simulator observes directly.
 #pragma once
 
+#include <algorithm>
+
 #include "spmv/csr_device.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -84,7 +86,7 @@ class CsrScalarEngine final : public EngineBase<T> {
     vgpu::LaunchConfig cfg;
     cfg.name = "csr_scalar";
     cfg.block_dim = block;
-    cfg.grid_dim = (host_.rows + block - 1) / block;
+    cfg.grid_dim = std::max<long long>(1, (host_.rows + block - 1) / block);
     const auto nrows = static_cast<std::size_t>(host_.rows);
     auto rs = dev_csr_.row_off.cspan().subspan(0, nrows);
     auto re = dev_csr_.row_off.cspan().subspan(1, nrows);

@@ -4,6 +4,8 @@
 // library-quality CSR baseline the paper compares ACSR against.
 #pragma once
 
+#include <algorithm>
+
 #include "spmv/csr_device.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -138,7 +140,8 @@ class CsrVectorEngine final : public EngineBase<T> {
     vgpu::LaunchConfig cfg;
     cfg.name = "csr_vector";
     cfg.block_dim = warps_per_block * vgpu::kWarpSize;
-    cfg.grid_dim = (warps_needed + warps_per_block - 1) / warps_per_block;
+    cfg.grid_dim = std::max<long long>(
+        1, (warps_needed + warps_per_block - 1) / warps_per_block);
 
     const auto nrows = static_cast<std::size_t>(host_.rows);
     auto rs = dev_csr_.row_off.cspan().subspan(0, nrows);

@@ -3,6 +3,8 @@
 // slot — the trade the paper's HYB discussion is about.
 #pragma once
 
+#include <algorithm>
+
 #include "mat/ell.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -76,7 +78,7 @@ class EllEngine final : public EngineBase<T> {
     vgpu::LaunchConfig cfg;
     cfg.name = "ell";
     cfg.block_dim = block;
-    cfg.grid_dim = (ell_.rows + block - 1) / block;
+    cfg.grid_dim = std::max<long long>(1, (ell_.rows + block - 1) / block);
     auto ci = col_dev_.cspan();
     auto va = val_dev_.cspan();
     auto xs = x_dev.cspan();

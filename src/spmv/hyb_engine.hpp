@@ -4,6 +4,8 @@
 // average padding cost are what ACSR beats on dynamic graphs.
 #pragma once
 
+#include <algorithm>
+
 #include "mat/hyb.hpp"
 #include "spmv/coo_engine.hpp"
 #include "spmv/ell_engine.hpp"
@@ -51,7 +53,8 @@ class HybEngine final : public EngineBase<T> {
       vgpu::LaunchConfig cfg;
       cfg.name = "hyb_ell";
       cfg.block_dim = block;
-      cfg.grid_dim = (hyb_.rows() + block - 1) / block;
+      cfg.grid_dim =
+          std::max<long long>(1, (hyb_.rows() + block - 1) / block);
       auto ci = ell_col_.cspan();
       auto va = ell_val_.cspan();
       const mat::index_t n = hyb_.rows();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "vgpu/sanitizer.hpp"
 
 namespace acsr::vgpu {
 
@@ -110,6 +111,12 @@ KernelRun Device::launch(const LaunchConfig& cfg, const KernelFn& fn,
            static_cast<double>(std::max<long long>(1, resident_per_sm))),
       8, 256);
 
+  // Sanitizer epoch: one racecheck write-set spans the parent grid and all
+  // of its dynamic-parallelism descendants (they are one logical launch).
+  Sanitizer& san = Sanitizer::instance();
+  const bool sanitize = san.enabled();
+  if (sanitize) san.begin_launch(cfg.name);
+
   // Work list: the parent grid, then every device-side launch it (or its
   // descendants) enqueues. Index-based loop because execution appends.
   std::vector<ChildLaunch> work;
@@ -117,6 +124,7 @@ KernelRun Device::launch(const LaunchConfig& cfg, const KernelFn& fn,
   for (std::size_t wi = 0; wi < work.size(); ++wi) {
     // Move out: executing the grid may reallocate `work`.
     const ChildLaunch item = std::move(work[wi]);
+    if (sanitize) san.begin_grid(static_cast<int>(wi), item.cfg.name);
     if (wi > 0) {
       ACSR_CHECK_MSG(spec_.supports_dynamic_parallelism(),
                      "device-side launch on " << spec_.name
@@ -137,7 +145,10 @@ KernelRun Device::launch(const LaunchConfig& cfg, const KernelFn& fn,
     }
   }
 
-  return finalize(cfg, spec_, env);
+  KernelRun run = finalize(cfg, spec_, env);
+  if (sanitize)
+    run.sanitizer_reports = static_cast<std::uint64_t>(san.end_launch());
+  return run;
 }
 
 }  // namespace acsr::vgpu

@@ -7,6 +7,7 @@
 // grid per bin).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,10 @@ struct KernelRun {
   double dram_bytes = 0.0;  // DRAM traffic after all cache modelling
 
   double duration_s = 0.0;
+
+  // Sanitizer findings recorded during this launch (0 unless the run was
+  // instrumented via ACSR_SANITIZE / Sanitizer::set_enabled).
+  std::uint64_t sanitizer_reports = 0;
 
   /// The binding roofline term (excluding overheads), for reports.
   double bound_s() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "vgpu/sanitizer.hpp"
 
 namespace acsr::vgpu {
 
@@ -39,8 +40,10 @@ class DeviceSpan {
       : data_(o.data()), size_(o.size()), addr_(o.addr()) {}
 
   T& operator[](std::size_t i) const {
-    ACSR_CHECK_MSG(i < size_, "device access out of bounds: " << i
-                                                              << " >= " << size_);
+    ACSR_CHECK_MSG(i < size_, "device access out of bounds: "
+                                  << i << " >= " << size_ << " (buffer '"
+                                  << Sanitizer::instance().buffer_name(addr_)
+                                  << "')");
     return data_[i];
   }
 
@@ -53,7 +56,18 @@ class DeviceSpan {
   }
 
   DeviceSpan subspan(std::size_t offset, std::size_t count) const {
-    ACSR_CHECK(offset <= size_ && count <= size_ - offset);
+    ACSR_CHECK_MSG(offset <= size_ && count <= size_ - offset,
+                   "subspan [" << offset << ", " << offset + count
+                               << ") escapes span of " << size_
+                               << " (buffer '"
+                               << Sanitizer::instance().buffer_name(addr_)
+                               << "')");
+    // Under the sanitizer, also validate against the shadow state: the
+    // sub-range must still lie inside a *live* allocation (catches
+    // subspans taken through spans that outlived their buffer).
+    if (sanitizer_enabled())
+      Sanitizer::instance().check_subspan(addr_ + offset * sizeof(T),
+                                          count * sizeof(T));
     return DeviceSpan(data_ + offset, count, addr_ + offset * sizeof(T));
   }
 
@@ -64,10 +78,16 @@ class DeviceSpan {
 };
 
 /// Capacity accounting + virtual address assignment for one device.
+///
+/// Every arena owns a process-unique slice of the virtual address space
+/// (16 TiB apart), so buffer addresses never collide across devices or
+/// across arenas created by successive tests. This is what lets the
+/// sanitizer keep one global shadow registry, and it mirrors real unified
+/// virtual addressing, where each device's allocations are disjoint.
 class MemoryArena {
  public:
   explicit MemoryArena(std::size_t capacity_bytes)
-      : capacity_(capacity_bytes) {}
+      : capacity_(capacity_bytes), next_addr_(take_address_slice()) {}
 
   std::uint64_t allocate(std::size_t bytes, const std::string& what) {
     const std::size_t aligned = (bytes + 255) & ~std::size_t{255};
@@ -80,6 +100,10 @@ class MemoryArena {
     allocated_ += aligned;
     const std::uint64_t addr = next_addr_;
     next_addr_ += aligned;
+    // Register with the sanitizer's allocation registry (always on: it is
+    // what lets span diagnostics name the buffer; per-byte shadow state is
+    // only materialised when the sanitizer is enabled).
+    Sanitizer::instance().on_alloc(addr, bytes, what);
     return addr;
   }
 
@@ -89,15 +113,32 @@ class MemoryArena {
     allocated_ -= aligned;
   }
 
+  /// Address-aware release: feeds the sanitizer's shadow state (catching
+  /// double/invalid frees) and only adjusts the capacity accounting for
+  /// frees of live allocations, so a reported double-free cannot corrupt
+  /// the arena.
+  void release(std::uint64_t addr, std::size_t bytes,
+               const std::string& what) {
+    if (bytes > 0 && !Sanitizer::instance().on_free(addr, bytes, what))
+      return;
+    release(bytes);
+  }
+
   std::size_t allocated() const { return allocated_; }
   std::size_t capacity() const { return capacity_; }
   void set_capacity(std::size_t bytes) { capacity_ = bytes; }
 
  private:
+  // Start away from zero so address 0 never aliases a real buffer, and
+  // 16 TiB apart per arena so addresses are process-unique.
+  static std::uint64_t take_address_slice() {
+    static std::uint64_t next_slice = 0;
+    return 0x10000 + 0x100000000000ULL * next_slice++;
+  }
+
   std::size_t capacity_;
   std::size_t allocated_ = 0;
-  // Start away from zero so address 0 never aliases a real buffer.
-  std::uint64_t next_addr_ = 0x10000;
+  std::uint64_t next_addr_;
 };
 
 /// Owning device allocation. Movable, not copyable (R.20-style ownership).
@@ -143,13 +184,19 @@ class DeviceBuffer {
 
   /// Host-side access (represents data already resident on the device;
   /// transfers are charged separately through Device::upload/download).
-  std::vector<T>& host() { return data_; }
+  /// Mutable access conservatively marks the whole buffer defined in the
+  /// sanitizer's shadow — host fills (uploads) initialize device memory.
+  std::vector<T>& host() {
+    if (sanitizer_enabled())
+      Sanitizer::instance().mark_initialized(addr_, bytes());
+    return data_;
+  }
   const std::vector<T>& host() const { return data_; }
 
  private:
   void release() {
     if (arena_ != nullptr) {
-      arena_->release(data_.size() * sizeof(T));
+      arena_->release(addr_, data_.size() * sizeof(T), name_);
       arena_ = nullptr;
     }
   }

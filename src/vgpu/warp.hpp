@@ -124,6 +124,9 @@ class Warp {
       if (!lane_active(m, lane)) continue;
       const auto i = static_cast<std::size_t>(idx[lane]);
       r[lane] = s[i];
+      if (sanitizer_enabled())
+        Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
+                                        warp_in_block_, lane);
       if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
         nsegs += allow_group ? group_miss(s.addr_of(i) / kGmemSegment) : 1;
     }
@@ -146,6 +149,10 @@ class Warp {
       if (!lane_active(m, lane)) continue;
       const auto i = static_cast<std::size_t>(idx[lane]);
       s[i] = v[lane];
+      if (sanitizer_enabled())
+        Sanitizer::instance().note_write(s.addr_of(i), sizeof(T), block_idx_,
+                                         warp_in_block_, lane,
+                                         /*atomic=*/false);
       if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
         nsegs += group_miss(s.addr_of(i) / kGmemSegment);
     }
@@ -156,6 +163,9 @@ class Warp {
   template <class T>
   T load_scalar(DeviceSpan<const T> s, std::size_t i) {
     account_gmem(kFullMask, 1);
+    if (sanitizer_enabled())
+      Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
+                                      warp_in_block_, /*lane=*/-1);
     return s[i];
   }
 
@@ -169,6 +179,9 @@ class Warp {
       if (!lane_active(m, lane)) continue;
       const auto i = static_cast<std::size_t>(idx[lane]);
       r[lane] = s[i];
+      if (sanitizer_enabled())
+        Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
+                                        warp_in_block_, lane);
       if (!tex_cache_.hit(s.addr_of(i) / kTexSegment)) ++nsegs;
     }
     env_.counters.tex_requests += 1;
@@ -191,6 +204,15 @@ class Warp {
     for (int lane = 0; lane < kWarpSize; ++lane) {
       if (!lane_active(m, lane)) continue;
       const auto i = static_cast<std::size_t>(idx[lane]);
+      if (sanitizer_enabled()) {
+        // An atomic RMW *reads* the previous value: uninitialized targets
+        // are a defect (engines must zero-fill y before accumulating).
+        Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
+                                        warp_in_block_, lane);
+        Sanitizer::instance().note_write(s.addr_of(i), sizeof(T), block_idx_,
+                                         warp_in_block_, lane,
+                                         /*atomic=*/true);
+      }
       s[i] += v[lane];
       const std::uint64_t a = s.addr_of(i);
       bool seen = false;
