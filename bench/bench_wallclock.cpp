@@ -1,0 +1,176 @@
+// Wall-clock microbenchmarks of the vgpu executor itself.
+//
+// Unlike the table/figure benches, which report *simulated* GPU seconds,
+// this bench measures how fast the single-core functional simulator chews
+// through SpMV kernels in real host time — the quantity that gates every
+// reproduction run, the 200-matrix differential fuzz, and the graph-app
+// benches. scripts/bench.sh folds the google-benchmark JSON output into
+// BENCH_wallclock.json at the repo root so successive PRs can diff
+// executor throughput. The fast-path / reference-path metering invariance
+// contract is asserted by tests/test_metering_invariance.cpp; this bench
+// only measures speed.
+//
+// Usage: bench_wallclock [--quick] [google-benchmark flags]
+//   --quick   smoke mode: ~25x shorter measurement windows (CI gate)
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "graph/corpus.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using acsr::core::EngineConfig;
+using acsr::core::make_engine;
+using acsr::mat::Csr;
+using acsr::vgpu::Device;
+using acsr::vgpu::DeviceSpec;
+
+long long corpus_scale() { return acsr::graph::default_scale(); }
+
+DeviceSpec titan_spec() {
+  return DeviceSpec::by_name("titan").scaled_for_corpus(corpus_scale());
+}
+
+EngineConfig engine_config() {
+  EngineConfig cfg;
+  cfg.hyb_breakeven = static_cast<acsr::mat::index_t>(
+      std::max<long long>(1, 4096 / corpus_scale()));
+  return cfg;
+}
+
+/// Corpus matrices are deterministic for a given (abbrev, scale); build
+/// each once and share across benchmarks.
+const Csr<double>& corpus_matrix(const std::string& abbrev) {
+  static std::map<std::string, Csr<double>> cache;
+  auto it = cache.find(abbrev);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(abbrev,
+                      acsr::graph::build_matrix(
+                          acsr::graph::corpus_entry(abbrev), corpus_scale()))
+             .first;
+  }
+  return it->second;
+}
+
+/// One full simulated SpMV per iteration: the executor hot path end to end
+/// (launch setup, warp construction, gathers, metering, roofline finalize).
+void BM_SpmvExecutor(benchmark::State& state, const char* engine_name,
+                     const char* matrix) {
+  const Csr<double>& a = corpus_matrix(matrix);
+  Device dev(titan_spec());
+  auto engine = make_engine<double>(engine_name, dev, a, engine_config());
+  std::vector<double> x(static_cast<std::size_t>(a.cols), 1.0);
+  std::vector<double> y;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->simulate(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+}
+
+/// Raw warp-gather micro: unit-stride (coalesced, the affine fast path's
+/// home turf) streaming loads of a large buffer.
+void BM_WarpGatherAffine(benchmark::State& state) {
+  Device dev(titan_spec());
+  const std::size_t n = 1 << 18;
+  auto buf = dev.alloc<double>(n, "stream");
+  buf.host().assign(n, 1.0);
+  auto s = buf.cspan();
+  const long long grid = static_cast<long long>(n) / 256;
+  acsr::vgpu::LaunchConfig cfg;
+  cfg.name = "gather_affine";
+  cfg.block_dim = 256;
+  cfg.grid_dim = grid;
+  for (auto _ : state) {
+    const auto run = dev.launch_warps(cfg, [&](acsr::vgpu::Warp& w) {
+      const auto idx = w.global_threads();
+      const auto v = w.load(s, idx, w.active_mask());
+      benchmark::DoNotOptimize(v[0]);
+    });
+    benchmark::DoNotOptimize(run.counters.gmem_transactions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+/// Raw warp-gather micro: pseudo-random scatter (the reference per-lane
+/// path; no affine structure to exploit).
+void BM_WarpGatherScatter(benchmark::State& state) {
+  Device dev(titan_spec());
+  const std::size_t n = 1 << 18;
+  auto buf = dev.alloc<double>(n, "scatter");
+  buf.host().assign(n, 1.0);
+  auto s = buf.cspan();
+  const long long grid = static_cast<long long>(n) / 256;
+  acsr::vgpu::LaunchConfig cfg;
+  cfg.name = "gather_scatter";
+  cfg.block_dim = 256;
+  cfg.grid_dim = grid;
+  const long long mask = static_cast<long long>(n) - 1;
+  for (auto _ : state) {
+    const auto run = dev.launch_warps(cfg, [&](acsr::vgpu::Warp& w) {
+      const auto tid = w.global_threads();
+      const auto idx = tid.map([mask](long long t) {
+        return (t * 2654435761LL + 12345) & mask;  // cheap hash scatter
+      });
+      const auto v = w.load(s, idx, w.active_mask());
+      benchmark::DoNotOptimize(v[0]);
+    });
+    benchmark::DoNotOptimize(run.counters.gmem_transactions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void register_benches() {
+  // The headline executor benchmark the ≥2x acceptance gate tracks:
+  // CSR-scalar over the scaled wikipedia graph (power-law, the paper's
+  // central workload).
+  static const char* const kEngines[] = {"csr-scalar", "csr-vector", "csr",
+                                         "coo",        "hyb",        "acsr"};
+  for (const char* e : kEngines) {
+    benchmark::RegisterBenchmark(
+        (std::string("spmv_executor/") + e + "/WIK").c_str(),
+        [e](benchmark::State& st) { BM_SpmvExecutor(st, e, "WIK"); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark(
+      "spmv_executor/csr-scalar/ENR",
+      [](benchmark::State& st) { BM_SpmvExecutor(st, "csr-scalar", "ENR"); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("warp_gather/affine", BM_WarpGatherAffine)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("warp_gather/scatter", BM_WarpGatherScatter)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Translate our --quick flag into short measurement windows before
+  // google-benchmark parses the command line.
+  std::vector<char*> args;
+  static char min_time[] = "--benchmark_min_time=0.02";
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (quick) args.insert(args.begin() + 1, min_time);
+  int n = static_cast<int>(args.size());
+  register_benches();
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

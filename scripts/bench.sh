@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Wall-clock executor benchmark driver: runs bench/bench_wallclock and
+# folds its google-benchmark JSON into BENCH_wallclock.json at the repo
+# root, preserving the committed baseline section so successive PRs can
+# diff executor throughput (see docs/PERF.md).
+#
+# Usage: scripts/bench.sh [build_dir]
+#   ACSR_BENCH_QUICK=1   smoke mode: ~25x shorter measurement windows; the
+#                        result is stamped "quick" and numbers are noisy —
+#                        use only as a does-it-run CI gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+out="BENCH_wallclock.json"
+
+if [ ! -x "$build/bench/bench_wallclock" ]; then
+  echo "bench.sh: $build/bench/bench_wallclock not built (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+mode="full"
+extra=()
+if [ "${ACSR_BENCH_QUICK:-0}" != "0" ]; then
+  mode="quick"
+  extra+=(--quick)
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$build/bench/bench_wallclock" "${extra[@]}" \
+  --benchmark_out="$raw" --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+MODE="$mode" RAW="$raw" OUT="$out" python3 - <<'PY'
+import json, os, subprocess
+
+raw = json.load(open(os.environ["RAW"]))
+out_path = os.environ["OUT"]
+mode = os.environ["MODE"]
+
+current = {
+    b["name"]: round(b["real_time"], 4)
+    for b in raw.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+}
+try:
+    commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                            capture_output=True, text=True).stdout.strip()
+except OSError:
+    commit = ""
+
+doc = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+# The baseline section is written once (pre-optimisation numbers) and then
+# carried forward verbatim; only the current section is refreshed.
+doc.setdefault("unit", "ms (real time per simulated SpMV / launch)")
+doc.setdefault("spec", "GTX Titan preset, default corpus scale")
+if "baseline" not in doc:
+    doc["baseline"] = {"commit": commit, "mode": mode, "benchmarks": current}
+doc["current"] = {"commit": commit, "mode": mode, "benchmarks": current}
+
+base = doc["baseline"]["benchmarks"]
+doc["speedup"] = {
+    name: round(base[name] / t, 3)
+    for name, t in current.items()
+    if name in base and t > 0
+}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"bench.sh: wrote {out_path} ({mode} mode)")
+for name, s in doc["speedup"].items():
+    print(f"  {name}: {base[name]:.3f} -> {current[name]:.3f} ms ({s}x)")
+PY

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: configure, build, run the tier-1 test label, then the
-# cross-engine differential fuzz harness at a fixed seed. Fails on the
+# CI gate: configure, build, run the tier-1 test label (timed — executor
+# wall-clock is a tracked quantity, see docs/PERF.md), the cross-engine
+# differential fuzz harness at a fixed seed, then a quick wall-clock bench
+# smoke that refreshes BENCH_wallclock.json at the repo root. Fails on the
 # first broken step. See docs/TESTING.md for the label scheme.
 #
 # Usage: scripts/check.sh [build_dir]
@@ -20,11 +22,16 @@ echo "== build"
 cmake --build "$build"
 
 echo "== tier-1 tests (ctest -L tier1)"
+tier1_start=$SECONDS
 ctest --test-dir "$build" -L tier1 --output-on-failure
+echo "check.sh: tier-1 suite took $((SECONDS - tier1_start))s"
 
 echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014}, ${ACSR_FUZZ_MATRICES:-200} matrices)"
 ACSR_FUZZ_SEED="${ACSR_FUZZ_SEED:-2014}" \
 ACSR_FUZZ_MATRICES="${ACSR_FUZZ_MATRICES:-200}" \
   ctest --test-dir "$build" -L fuzz --output-on-failure
+
+echo "== wall-clock bench smoke (bench_wallclock --quick)"
+ACSR_BENCH_QUICK=1 scripts/bench.sh "$build"
 
 echo "check.sh: all gates green"

@@ -26,9 +26,11 @@ void coo_segmented_warp(vgpu::Warp& w,
       [n_entries](long long i) { return i < n_entries; }, w.active_mask());
   if (live == 0) return;
 
-  const LaneArray<mat::index_t> r = w.load(row_idx, idx, live);
-  const LaneArray<mat::index_t> c = w.load(col_idx, idx, live);
-  const LaneArray<T> v = w.load(vals, idx, live);
+  // One COO entry per lane, consecutive: unit-stride loads of all three
+  // arrays.
+  const LaneArray<mat::index_t> r = w.load_seq(row_idx, base, live);
+  const LaneArray<mat::index_t> c = w.load_seq(col_idx, base, live);
+  const LaneArray<T> v = w.load_seq(vals, base, live);
   const LaneArray<T> xv = w.load_tex(x, c, live);
   LaneArray<T> prod;
   for (int l = 0; l < vgpu::kWarpSize; ++l) prod[l] = v[l] * xv[l];

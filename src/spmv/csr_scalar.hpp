@@ -33,27 +33,43 @@ void csr_scalar_warp(vgpu::Warp& w,
                  w.active_mask());
   if (live == 0) return;
 
-  const LaneArray<mat::offset_t> start = w.load(row_start, rows, live);
-  const LaneArray<mat::offset_t> end = w.load(row_end, rows, live);
+  // Consecutive rows per lane: unit-stride extents load.
+  const LaneArray<mat::offset_t> start = w.load_seq(row_start, rows[0], live);
+  const LaneArray<mat::offset_t> end = w.load_seq(row_end, rows[0], live);
   w.count_alu(2);  // pointer math
 
+  // Each lane walks its row cursor start..end; a lane drops out of the
+  // mask permanently once its row is exhausted, so the mask is maintained
+  // incrementally and the tail iterations (the straggler rows a divergent
+  // warp waits on) cost work proportional to the lanes still live.
   LaneArray<T> sum{};
-  for (mat::offset_t t = 0;; ++t) {
-    Mask m = 0;
-    for (int l = 0; l < vgpu::kWarpSize; ++l)
-      if (vgpu::lane_active(live, l) && start[l] + t < end[l])
-        m |= vgpu::lane_bit(l);
-    if (m == 0) break;
-    LaneArray<mat::offset_t> idx;
-    for (int l = 0; l < vgpu::kWarpSize; ++l) idx[l] = start[l] + t;
-    const LaneArray<mat::index_t> col = w.load(col_idx, idx, m);
-    const LaneArray<T> val = w.load(vals, idx, m);
+  LaneArray<mat::offset_t> cur = start;
+  Mask m = 0;
+  for (Mask rem = live; rem != 0; rem &= rem - 1) {
+    const int l = std::countr_zero(rem);
+    if (cur[l] < end[l]) m |= vgpu::lane_bit(l);
+  }
+  while (m != 0) {
+    LaneArray<mat::index_t> col{};
+    LaneArray<T> val{};
+    w.load_pair(col_idx, vals, cur, m, col, val);
     const LaneArray<T> xv = w.load_tex(x, col, m);
     vgpu::fma_into(sum, val, xv, m);
     w.count_flops(m, 2, sizeof(T) == 8);  // FMA = 2 flops
     w.count_alu(2);                       // loop compare + increment
+    Mask next = 0;
+    if (m == vgpu::kFullMask) {  // plain loop: no serial bit-scan chain
+      for (int l = 0; l < vgpu::kWarpSize; ++l)
+        if (++cur[l] < end[l]) next |= vgpu::lane_bit(l);
+    } else {
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int l = std::countr_zero(rem);
+        if (++cur[l] < end[l]) next |= vgpu::lane_bit(l);
+      }
+    }
+    m = next;
   }
-  w.store(y, rows, sum, live);
+  w.store_seq(y, rows[0], sum, live);
 }
 
 template <class T>

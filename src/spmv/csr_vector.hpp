@@ -59,15 +59,19 @@ void csr_vector_warp(vgpu::Warp& w, int vec_size,
   LaneArray<mat::offset_t> i;
   for (int l = 0; l < vgpu::kWarpSize; ++l) i[l] = start[l] + sub[l];
 
+  // A lane leaves the mask for good when its group's row runs out of
+  // entries at its sub-position; maintain the mask incrementally so the
+  // divergent tail costs only the lanes still live.
   LaneArray<T> sum{};
-  for (;;) {
-    Mask m = 0;
-    for (int l = 0; l < vgpu::kWarpSize; ++l)
-      if (vgpu::lane_active(live, l) && i[l] < end[l])
-        m |= vgpu::lane_bit(l);
-    if (m == 0) break;
-    const LaneArray<mat::index_t> col = w.load(col_idx, i, m);
-    const LaneArray<T> val = w.load(vals, i, m);
+  Mask m = 0;
+  for (Mask rem = live; rem != 0; rem &= rem - 1) {
+    const int l = std::countr_zero(rem);
+    if (i[l] < end[l]) m |= vgpu::lane_bit(l);
+  }
+  while (m != 0) {
+    LaneArray<mat::index_t> col{};
+    LaneArray<T> val{};
+    w.load_pair(col_idx, vals, i, m, col, val);
     // x through the texture path (the paper's choice, also cuSPARSE's) or
     // the plain global path for the ablation.
     const LaneArray<T> xv = use_tex ? w.load_tex(x, col, m)
@@ -75,8 +79,20 @@ void csr_vector_warp(vgpu::Warp& w, int vec_size,
     vgpu::fma_into(sum, val, xv, m);
     w.count_flops(m, 2, sizeof(T) == 8);
     w.count_alu(2);
-    for (int l = 0; l < vgpu::kWarpSize; ++l)
-      if (vgpu::lane_active(m, l)) i[l] += vec_size;
+    Mask next = 0;
+    if (m == vgpu::kFullMask) {  // plain loop: no serial bit-scan chain
+      for (int l = 0; l < vgpu::kWarpSize; ++l) {
+        i[l] += vec_size;
+        if (i[l] < end[l]) next |= vgpu::lane_bit(l);
+      }
+    } else {
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int l = std::countr_zero(rem);
+        i[l] += vec_size;
+        if (i[l] < end[l]) next |= vgpu::lane_bit(l);
+      }
+    }
+    m = next;
   }
 
   // Intra-group shuffle reduction; the group leader publishes. Every

@@ -27,12 +27,12 @@ void ell_warp(vgpu::Warp& w, vgpu::DeviceSpan<const mat::index_t> col_idx,
 
   LaneArray<T> sum{};
   for (mat::index_t j = 0; j < width; ++j) {
-    LaneArray<long long> slot;
-    for (int l = 0; l < vgpu::kWarpSize; ++l)
-      slot[l] = static_cast<long long>(j) * n_rows + rows[l];
+    // Column-major slab: lane l reads slot j*n_rows + rows[l], i.e. a
+    // unit-stride run starting at this warp's first row.
+    const long long slot0 = static_cast<long long>(j) * n_rows + rows[0];
     // The slab is loaded unconditionally — padding costs bandwidth.
-    const LaneArray<mat::index_t> col = w.load(col_idx, slot, live);
-    const LaneArray<T> val = w.load(vals, slot, live);
+    const LaneArray<mat::index_t> col = w.load_seq(col_idx, slot0, live);
+    const LaneArray<T> val = w.load_seq(vals, slot0, live);
     Mask valid = 0;
     for (int l = 0; l < vgpu::kWarpSize; ++l)
       if (vgpu::lane_active(live, l) && col[l] != mat::Ell<T>::kPad)
@@ -44,7 +44,7 @@ void ell_warp(vgpu::Warp& w, vgpu::DeviceSpan<const mat::index_t> col_idx,
       w.count_flops(valid, 2, sizeof(T) == 8);
     }
   }
-  w.store(y, rows, sum, live);
+  w.store_seq(y, rows[0], sum, live);
 }
 
 template <class T>

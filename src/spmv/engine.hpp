@@ -128,7 +128,7 @@ vgpu::KernelRun zero_fill(vgpu::Device& dev, vgpu::DeviceSpan<T> y) {
     const vgpu::Mask m = idx.where(
         [n](long long i) { return i < n; }, w.active_mask());
     if (m == 0) return;
-    w.store(y, idx, vgpu::LaneArray<T>::filled(T{0}), m);
+    w.store_seq(y, idx[0], vgpu::LaneArray<T>::filled(T{0}), m);
   });
 }
 

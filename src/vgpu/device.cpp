@@ -75,7 +75,7 @@ KernelRun finalize(const LaunchConfig& cfg, const DeviceSpec& spec,
 
 }  // namespace
 
-KernelRun Device::launch(const LaunchConfig& cfg, const KernelFn& fn,
+KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
                          std::unordered_set<std::uint64_t>* group_l2) {
   ACSR_CHECK_MSG(cfg.grid_dim >= 1, "empty grid for kernel " << cfg.name);
   ACSR_CHECK_MSG(cfg.block_dim >= 1 &&
@@ -113,36 +113,50 @@ KernelRun Device::launch(const LaunchConfig& cfg, const KernelFn& fn,
 
   // Sanitizer epoch: one racecheck write-set spans the parent grid and all
   // of its dynamic-parallelism descendants (they are one logical launch).
+  // The decision is captured once here; Warp reads env.sanitize instead of
+  // consulting the singleton per access.
   Sanitizer& san = Sanitizer::instance();
   const bool sanitize = san.enabled();
+  env.sanitize = sanitize;
+  env.fast_path = !sanitize && !reference_metering();
   if (sanitize) san.begin_launch(cfg.name);
 
-  // Work list: the parent grid, then every device-side launch it (or its
-  // descendants) enqueues. Index-based loop because execution appends.
-  std::vector<ChildLaunch> work;
-  work.push_back({cfg, fn});
-  for (std::size_t wi = 0; wi < work.size(); ++wi) {
-    // Move out: executing the grid may reallocate `work`.
-    const ChildLaunch item = std::move(work[wi]);
-    if (sanitize) san.begin_grid(static_cast<int>(wi), item.cfg.name);
-    if (wi > 0) {
-      ACSR_CHECK_MSG(spec_.supports_dynamic_parallelism(),
-                     "device-side launch on " << spec_.name
-                                              << " (CC < 3.5)");
-      env.counters.child_blocks +=
-          static_cast<std::uint64_t>(item.cfg.grid_dim);
-    }
-    for (long long b = 0; b < item.cfg.grid_dim; ++b) {
+  auto run_grid = [&](const LaunchConfig& gc, const KernelRef& gf) {
+    for (long long b = 0; b < gc.grid_dim; ++b) {
       const int sm =
           static_cast<int>(env.next_block_seq++ %
                            static_cast<long long>(spec_.sm_count));
-      Block blk(env, b, item.cfg.block_dim, item.cfg.grid_dim, sm);
-      item.fn(blk);
+      Block blk(env, b, gc.block_dim, gc.grid_dim, sm);
+      gf(blk);
     }
-    if (!env.pending_children.empty()) {
-      for (auto& ch : env.pending_children) work.push_back(std::move(ch));
-      env.pending_children.clear();
-    }
+  };
+
+  // Work list of device-side launches enqueued by the parent grid or its
+  // descendants. The parent runs directly through the non-owning KernelRef
+  // (no KernelFn copy); children are *moved* off pending_children, so each
+  // enqueued KernelFn is materialised exactly once (at launch_child).
+  std::vector<ChildLaunch> work;
+  auto drain_children = [&] {
+    if (env.pending_children.empty()) return;
+    work.reserve(work.size() + env.pending_children.size());
+    for (auto& ch : env.pending_children) work.push_back(std::move(ch));
+    env.pending_children.clear();
+  };
+
+  if (sanitize) san.begin_grid(0, cfg.name);
+  run_grid(cfg, fn);
+  drain_children();
+  // Index-based loop because execution appends to `work`.
+  for (std::size_t wi = 0; wi < work.size(); ++wi) {
+    // Move out: executing the grid may reallocate `work`.
+    const ChildLaunch item = std::move(work[wi]);
+    if (sanitize) san.begin_grid(static_cast<int>(wi) + 1, item.cfg.name);
+    ACSR_CHECK_MSG(spec_.supports_dynamic_parallelism(),
+                   "device-side launch on " << spec_.name << " (CC < 3.5)");
+    env.counters.child_blocks +=
+        static_cast<std::uint64_t>(item.cfg.grid_dim);
+    run_grid(item.cfg, KernelRef(item.fn));
+    drain_children();
   }
 
   KernelRun run = finalize(cfg, spec_, env);

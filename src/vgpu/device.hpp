@@ -60,8 +60,11 @@ class Device {
   /// Dynamic-parallelism children enqueued by the kernel are executed as
   /// part of the same run (they share the device with the parent).
   /// `group_l2` links the launch into a concurrent group (see
-  /// ConcurrentGroup below).
-  KernelRun launch(const LaunchConfig& cfg, const KernelFn& fn,
+  /// ConcurrentGroup below). The launch is fully synchronous, so the
+  /// kernel is taken as a non-owning KernelRef: a stack lambda binds with
+  /// no std::function materialisation (children the kernel enqueues are
+  /// the only owned copies).
+  KernelRun launch(const LaunchConfig& cfg, KernelRef fn,
                    std::unordered_set<std::uint64_t>* group_l2 = nullptr);
 
   /// Convenience wrapper for warp-granularity kernels: `fn(Warp&)` is run
@@ -70,12 +73,10 @@ class Device {
   KernelRun launch_warps(const LaunchConfig& cfg, F&& fn,
                          std::unordered_set<std::uint64_t>* group_l2 =
                              nullptr) {
-    return launch(
-        cfg,
-        [&fn](Block& blk) {
-          blk.each_warp([&fn](Warp& w) { fn(w); });
-        },
-        group_l2);
+    auto body = [&fn](Block& blk) {
+      blk.each_warp([&fn](Warp& w) { fn(w); });
+    };
+    return launch(cfg, KernelRef(body), group_l2);
   }
 
   // Cumulative transfer accounting (reset per experiment).
@@ -102,7 +103,7 @@ class ConcurrentGroup {
  public:
   explicit ConcurrentGroup(Device& dev) : dev_(dev) {}
 
-  KernelRun launch(const LaunchConfig& cfg, const KernelFn& fn) {
+  KernelRun launch(const LaunchConfig& cfg, KernelRef fn) {
     KernelRun r = dev_.launch(cfg, fn, &l2_);
     runs_.push_back(r);
     return r;

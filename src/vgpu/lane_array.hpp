@@ -11,6 +11,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -21,13 +22,24 @@ inline constexpr int kWarpSize = 32;
 using Mask = std::uint32_t;
 inline constexpr Mask kFullMask = 0xffffffffu;
 
-inline int active_lanes(Mask m) { return std::popcount(m); }
+// Branchless SWAR popcount: without -mpopcnt, std::popcount lowers to a
+// libgcc call, and this sits on the per-iteration metering path.
+inline int active_lanes(Mask m) {
+  m = m - ((m >> 1) & 0x55555555u);
+  m = (m & 0x33333333u) + ((m >> 2) & 0x33333333u);
+  return static_cast<int>((((m + (m >> 4)) & 0x0f0f0f0fu) * 0x01010101u) >>
+                          24);
+}
 inline bool lane_active(Mask m, int lane) { return (m >> lane) & 1u; }
 inline Mask lane_bit(int lane) { return Mask{1} << lane; }
 /// Mask with the lowest n lanes active.
 inline Mask first_lanes(int n) {
   return n >= kWarpSize ? kFullMask : ((Mask{1} << n) - 1u);
 }
+/// True when the active lanes of m are exactly lanes 0..popcount(m)-1
+/// (the shape produced by first_lanes and by `tid < n` guards on iota
+/// thread ids — every warp except a ragged grid edge).
+inline bool is_prefix_mask(Mask m) { return (m & (m + 1u)) == 0; }
 
 /// One register across the 32 lanes of a warp.
 template <class T>
@@ -70,6 +82,55 @@ struct LaneArray {
   }
 };
 
+/// Detect an affine index pattern across the first n lanes:
+/// idx[l] == base + l * step for l in [0, n). This is the shape of every
+/// regular gather in the SpMV kernels — iota thread ids, the CSR
+/// row-extent walk, ELL's column-major slots — and what Warp's analytic
+/// fast path exploits (see docs/PERF.md). Lanes >= n are not inspected,
+/// so inactive-lane garbage cannot affect the result.
+template <class I>
+inline bool affine_prefix(const LaneArray<I>& idx, int n, long long* base,
+                          long long* step) {
+  *base = static_cast<long long>(idx[0]);
+  if (n <= 1) {
+    *step = 0;
+    return true;
+  }
+  const long long s =
+      static_cast<long long>(idx[1]) - static_cast<long long>(idx[0]);
+  for (int l = 2; l < n; ++l)
+    if (static_cast<long long>(idx[l]) - static_cast<long long>(idx[l - 1]) !=
+        s)
+      return false;
+  *step = s;
+  return true;
+}
+
+/// {min, max} of idx over the active lanes of m. Requires m != 0. Feeds
+/// the one-shot DeviceSpan::check_range validation of irregular gathers.
+template <class I>
+inline std::pair<long long, long long> lane_index_range(
+    const LaneArray<I>& idx, Mask m) {
+  if (m == kFullMask) {  // plain loop: unrolls/vectorizes, no scan chain
+    long long lo = static_cast<long long>(idx[0]);
+    long long hi = lo;
+    for (int l = 1; l < kWarpSize; ++l) {
+      const long long i = static_cast<long long>(idx[l]);
+      lo = i < lo ? i : lo;
+      hi = i > hi ? i : hi;
+    }
+    return {lo, hi};
+  }
+  long long lo = static_cast<long long>(idx[std::countr_zero(m)]);
+  long long hi = lo;
+  for (Mask rem = m & (m - 1); rem != 0; rem &= rem - 1) {
+    const long long i = static_cast<long long>(idx[std::countr_zero(rem)]);
+    lo = i < lo ? i : lo;
+    hi = i > hi ? i : hi;
+  }
+  return {lo, hi};
+}
+
 // Elementwise arithmetic. These are *functional* helpers only; kernels must
 // report the corresponding instruction cost through Warp::count_* calls
 // (the Warp memory/shuffle/reduce APIs self-report).
@@ -108,8 +169,14 @@ LaneArray<T> operator*(const LaneArray<T>& a, T s) {
 template <class T>
 void fma_into(LaneArray<T>& acc, const LaneArray<T>& a, const LaneArray<T>& b,
               Mask m) {
-  for (int i = 0; i < kWarpSize; ++i)
-    if (lane_active(m, i)) acc[i] += a[i] * b[i];
+  if (m == kFullMask) {
+    for (int i = 0; i < kWarpSize; ++i) acc[i] += a[i] * b[i];
+    return;
+  }
+  for (Mask rem = m; rem != 0; rem &= rem - 1) {
+    const int i = std::countr_zero(rem);
+    acc[i] += a[i] * b[i];
+  }
 }
 
 }  // namespace acsr::vgpu

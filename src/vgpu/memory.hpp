@@ -40,11 +40,24 @@ class DeviceSpan {
       : data_(o.data()), size_(o.size()), addr_(o.addr()) {}
 
   T& operator[](std::size_t i) const {
-    ACSR_CHECK_MSG(i < size_, "device access out of bounds: "
-                                  << i << " >= " << size_ << " (buffer '"
-                                  << Sanitizer::instance().buffer_name(addr_)
-                                  << "')");
+    // Failure path outlined (cold, noinline): keeps every indexing site —
+    // the executor's per-lane gather loops above all — down to a compare
+    // and a never-taken branch, with no diagnostic-formatting code inflating
+    // the hot loop.
+    if (i >= size_) [[unlikely]]
+      fail_out_of_bounds(static_cast<long long>(i), static_cast<long long>(i));
     return data_[i];
+  }
+
+  /// One-shot bounds validation for a gather touching elements lo..hi
+  /// (inclusive, lo <= hi): the fast path's replacement for 32 per-element
+  /// operator[] checks, with the same failure mode (an InvariantError
+  /// naming the buffer). Per-element checks — and the sanitizer's per-byte
+  /// shadow validation — remain on the instrumented path under
+  /// ACSR_SANITIZE.
+  void check_range(long long lo, long long hi) const {
+    if (lo < 0 || static_cast<std::uint64_t>(hi) >= size_) [[unlikely]]
+      fail_out_of_bounds(lo, hi);
   }
 
   std::size_t size() const { return size_; }
@@ -72,6 +85,19 @@ class DeviceSpan {
   }
 
  private:
+  [[noreturn]] [[gnu::cold]] [[gnu::noinline]] void fail_out_of_bounds(
+      long long lo, long long hi) const {
+    std::ostringstream os;
+    os << "device access out of bounds: ";
+    if (lo == hi)
+      os << lo << " >= " << size_;
+    else
+      os << "[" << lo << ", " << hi << "] outside span of " << size_;
+    os << " (buffer '" << Sanitizer::instance().buffer_name(addr_) << "')";
+    ::acsr::detail::throw_invariant("device index within span", __FILE__,
+                                    __LINE__, os.str());
+  }
+
   T* data_ = nullptr;
   std::size_t size_ = 0;
   std::uint64_t addr_ = 0;

@@ -83,7 +83,7 @@ class Sanitizer {
   static Sanitizer& instance();
 
   bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  void set_enabled(bool on);  // also updates the sanitizer_enabled() mirror
   bool halt_on_error() const { return halt_; }
   void set_halt_on_error(bool on) { halt_ = on; }
 
@@ -167,6 +167,19 @@ class Sanitizer {
 };
 
 /// Fast-path guard used by the per-lane hooks in Warp and DeviceSpan.
-inline bool sanitizer_enabled() { return Sanitizer::instance().enabled(); }
+/// A plain global mirror of Sanitizer::enabled(): reading it is one load,
+/// with no function-local-static initialization guard on the hot path.
+/// The dynamic initializer forces the singleton (and its ACSR_SANITIZE env
+/// read) to exist before main; set_enabled keeps the mirror in sync.
+namespace detail {
+inline bool g_sanitizer_enabled = Sanitizer::instance().enabled();
+}  // namespace detail
+
+inline bool sanitizer_enabled() { return detail::g_sanitizer_enabled; }
+
+inline void Sanitizer::set_enabled(bool on) {
+  enabled_ = on;
+  detail::g_sanitizer_enabled = on;
+}
 
 }  // namespace acsr::vgpu

@@ -9,10 +9,25 @@
 // coalesced-model global loads/stores, a texture read path for x,
 // __shfl_down, atomics, and device-side (dynamic-parallelism) launches —
 // and self-reports every event into the kernel's Counters.
+//
+// Executor fast path (docs/PERF.md): gathers whose index vector is affine
+// across the active lane prefix (iota thread ids, the CSR row-extent walk,
+// ELL slots) are serviced analytically — one range bounds check, a
+// memcpy-style lane fill, and one sector-cache probe per *distinct* 32 B
+// sector instead of 32 per-lane probes. The fast path is metering-
+// invariant: every Counters field and cache end-state is bit-identical to
+// the reference per-lane loop (tests/test_metering_invariance.cpp pins
+// this). It is disabled under the sanitizer (which needs per-access hooks)
+// and under reference metering (ACSR_REFERENCE_METERING=1 or
+// set_reference_metering), which forces the original loop everywhere.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
@@ -34,9 +49,100 @@ struct LaunchConfig {
 
 using KernelFn = std::function<void(Block&)>;
 
+/// Non-owning callable reference taken by Device::launch: the overwhelming
+/// majority of launches pass a stack lambda that outlives the (fully
+/// synchronous) launch, so no std::function needs to be materialised.
+/// Owning KernelFn storage is only kept where it is genuinely needed — the
+/// dynamic-parallelism child work list.
+class KernelRef {
+ public:
+  template <class F>
+  KernelRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* o, Block& b) {
+          (*static_cast<std::remove_reference_t<F>*>(o))(b);
+        }) {}
+
+  void operator()(Block& b) const { call_(obj_, b); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, Block&);
+};
+
 struct ChildLaunch {
   LaunchConfig cfg;
   KernelFn fn;
+};
+
+// --- reference-metering switch ---------------------------------------------
+// When on, every Warp memory primitive takes the original per-lane
+// bookkeeping loop instead of the analytic fast path. The two must be
+// bit-identical in every counter; the invariance test runs both and
+// asserts it. Env: ACSR_REFERENCE_METERING=1.
+namespace detail {
+inline bool reference_metering_from_env() {
+  const char* v = std::getenv("ACSR_REFERENCE_METERING");
+  return v != nullptr && v[0] == '1';
+}
+inline bool g_reference_metering = reference_metering_from_env();
+}  // namespace detail
+
+inline bool reference_metering() { return detail::g_reference_metering; }
+inline void set_reference_metering(bool on) {
+  detail::g_reference_metering = on;
+}
+
+/// Backing storage for one direct-mapped sector tag array, owned by the
+/// KernelEnv and shared by every warp of the launch. Tags are
+/// epoch-stamped: a slot is live only while its stamp matches the current
+/// warp's epoch, so giving each warp a fresh empty cache is one counter
+/// bump instead of a 256-entry wipe per warp.
+struct SectorCacheState {
+  static constexpr std::size_t kMaxWays = 256;
+  // Tag and stamp interleaved so a probe touches one cache line, not two
+  // arrays 2 KiB apart (the probe is the single hottest load in the
+  // executor — see docs/PERF.md).
+  struct Slot {
+    std::uint64_t tag;  // gated by stamp; no init needed
+    std::uint64_t stamp;
+  };
+  Slot slots[kMaxWays] = {};
+  std::uint64_t epoch = 0;  // first warp bumps to 1 > all stamps
+};
+
+/// Per-launch bump allocator backing Block::shared. Chunks are stable in
+/// memory (a chunk is never reallocated), so spans handed out earlier in a
+/// block stay valid; reset() at block start recycles the whole pool
+/// without returning memory — one allocation steady-state per launch
+/// instead of one per shared() call.
+class SharedMemArena {
+ public:
+  void reset() {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  double* take(std::size_t n_doubles) {
+    for (;;) {
+      if (chunk_ == chunks_.size())
+        chunks_.emplace_back(std::max(n_doubles, kMinChunkDoubles));
+      auto& c = chunks_[chunk_];
+      if (c.size() - used_ >= n_doubles) {
+        double* p = c.data() + used_;
+        used_ += n_doubles;
+        return p;
+      }
+      ++chunk_;
+      used_ = 0;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinChunkDoubles = 6144;  // 48 KiB, one SMX
+  std::vector<std::vector<double>> chunks_;
+  std::size_t chunk_ = 0;
+  std::size_t used_ = 0;
 };
 
 /// Shared mutable state for one kernel execution (parent + children).
@@ -60,6 +166,16 @@ struct KernelEnv {
   // fetched from DRAM again. Owned by the ConcurrentGroup, shared by its
   // launches.
   std::unordered_set<std::uint64_t>* group_l2 = nullptr;
+  // Hoisted per-launch decisions (Device::launch re-captures them): whether
+  // sanitizer instrumentation is live, and whether the analytic affine
+  // fast path may run (never under the sanitizer or reference metering).
+  bool sanitize = sanitizer_enabled();
+  bool fast_path = !sanitize && !reference_metering();
+  // Epoch-stamped tag arrays shared by all warps of this launch.
+  SectorCacheState gmem_cache_state;
+  SectorCacheState tex_cache_state;
+  // Bump pool for Block::shared allocations.
+  SharedMemArena smem_arena;
 };
 
 class Warp {
@@ -72,8 +188,8 @@ class Warp {
         grid_dim_(grid_dim),
         warp_in_block_(warp_in_block),
         initial_mask_(initial_mask),
-        gmem_cache_(env.gmem_cache_ways),
-        tex_cache_(env.tex_cache_ways) {}
+        gmem_cache_(env.gmem_cache_state, env.gmem_cache_ways),
+        tex_cache_(env.tex_cache_state, env.tex_cache_ways) {}
 
   // --- geometry -----------------------------------------------------------
   long long block_idx() const { return block_idx_; }
@@ -104,6 +220,22 @@ class Warp {
     return load_gather(s, idx, m, /*allow_group=*/true);
   }
 
+  /// Unit-stride gather of the active lane prefix starting at element
+  /// `first`: equivalent to load(s, iota(first), m) but states the affine
+  /// pattern explicitly at the call site (the CSR row-extent walk, COO's
+  /// consecutive-entry loads, ELL's column-major slots).
+  template <class T>
+  LaneArray<T> load_seq(DeviceSpan<const T> s, long long first, Mask m) {
+    return load(s, LaneArray<long long>::iota(first), m);
+  }
+
+  /// Unit-stride scatter counterpart of load_seq.
+  template <class T>
+  void store_seq(DeviceSpan<T> s, long long first, const LaneArray<T>& v,
+                 Mask m) {
+    store(s, LaneArray<long long>::iota(first), v, m);
+  }
+
   /// Scattered gather that bypasses the concurrent-group L2 filter: used
   /// for x gathers on the plain global path (the use_texture=false
   /// ablation). Random gathers lack the aligned-streaming property that
@@ -118,17 +250,47 @@ class Warp {
   template <class T, class I>
   LaneArray<T> load_gather(DeviceSpan<const T> s, const LaneArray<I>& idx,
                            Mask m, bool allow_group) {
+    if (env_.fast_path && m != 0 && is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) &&
+          affine_stride_ok(step, sizeof(T)))
+        return gather_affine(s, base, step, n, allow_group);
+    }
     LaneArray<T> r{};
     int nsegs = 0;
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      if (!lane_active(m, lane)) continue;
-      const auto i = static_cast<std::size_t>(idx[lane]);
-      r[lane] = s[i];
-      if (sanitizer_enabled())
+    // Iterate set bits only (ascending lane order, same as the plain loop):
+    // sparse masks — the long tail of a power-law row sweep — cost
+    // popcount(m) iterations, not 32.
+    if (env_.sanitize) {
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int lane = std::countr_zero(rem);
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        r[lane] = s[i];
         Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
                                         warp_in_block_, lane);
-      if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
-        nsegs += allow_group ? group_miss(s.addr_of(i) / kGmemSegment) : 1;
+        if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
+          nsegs += allow_group ? group_miss(s.addr_of(i) / kGmemSegment) : 1;
+      }
+    } else if (m != 0) {
+      // Validate the whole gather once (min/max over the active lanes),
+      // then read raw: same failure class as per-element checks, no
+      // per-element branch in the hot loop.
+      const auto [lo, hi] = lane_index_range(idx, m);
+      s.check_range(lo, hi);
+      const T* p = s.data();
+      const auto lane_body = [&](int lane) {
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        r[lane] = p[i];
+        if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
+          nsegs += allow_group ? group_miss(s.addr_of(i) / kGmemSegment) : 1;
+      };
+      if (m == kFullMask) {
+        for (int lane = 0; lane < kWarpSize; ++lane) lane_body(lane);
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1)
+          lane_body(std::countr_zero(rem));
+      }
     }
     account_gmem(m, nsegs);
     return r;
@@ -141,20 +303,112 @@ class Warp {
     return load(DeviceSpan<const T>(s), idx, m);
   }
 
+  /// Fused gather of two spans through the same index vector — the CSR
+  /// inner loop's col_idx + vals pattern. Metering-identical to
+  /// load(a, idx, m) followed by load(b, idx, m): all of a's lanes are
+  /// probed and accounted first, then all of b's; only the mask decode and
+  /// the index min/max scan are shared between the two gathers.
+  template <class A, class B, class I>
+  void load_pair(DeviceSpan<const A> a, DeviceSpan<const B> b,
+                 const LaneArray<I>& idx, Mask m, LaneArray<A>& ra,
+                 LaneArray<B>& rb) {
+    if (m == 0 || env_.sanitize) {
+      ra = load(a, idx, m);
+      rb = load(b, idx, m);
+      return;
+    }
+    if (env_.fast_path && is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) &&
+          (affine_stride_ok(step, sizeof(A)) ||
+           affine_stride_ok(step, sizeof(B)))) {
+        // Genuinely affine: take the plain per-span routes, since stride
+        // eligibility depends on each span's element size.
+        ra = load(a, idx, m);
+        rb = load(b, idx, m);
+        return;
+      }
+    }
+    const auto [lo, hi] = lane_index_range(idx, m);
+    a.check_range(lo, hi);
+    {
+      const A* p = a.data();
+      int nsegs = 0;
+      const auto lane_body = [&](int lane) {
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        ra[lane] = p[i];
+        if (!gmem_cache_.hit(a.addr_of(i) / kGmemSegment))
+          nsegs += group_miss(a.addr_of(i) / kGmemSegment);
+      };
+      if (m == kFullMask) {
+        for (int lane = 0; lane < kWarpSize; ++lane) lane_body(lane);
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1)
+          lane_body(std::countr_zero(rem));
+      }
+      account_gmem(m, nsegs);
+    }
+    b.check_range(lo, hi);
+    {
+      const B* p = b.data();
+      int nsegs = 0;
+      const auto lane_body = [&](int lane) {
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        rb[lane] = p[i];
+        if (!gmem_cache_.hit(b.addr_of(i) / kGmemSegment))
+          nsegs += group_miss(b.addr_of(i) / kGmemSegment);
+      };
+      if (m == kFullMask) {
+        for (int lane = 0; lane < kWarpSize; ++lane) lane_body(lane);
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1)
+          lane_body(std::countr_zero(rem));
+      }
+      account_gmem(m, nsegs);
+    }
+  }
+
   template <class T, class I>
   void store(DeviceSpan<T> s, const LaneArray<I>& idx, const LaneArray<T>& v,
              Mask m) {
+    if (env_.fast_path && m != 0 && is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) &&
+          affine_stride_ok(step, sizeof(T))) {
+        scatter_affine(s, base, step, n, v);
+        return;
+      }
+    }
     int nsegs = 0;
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      if (!lane_active(m, lane)) continue;
-      const auto i = static_cast<std::size_t>(idx[lane]);
-      s[i] = v[lane];
-      if (sanitizer_enabled())
+    if (env_.sanitize) {
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int lane = std::countr_zero(rem);
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        s[i] = v[lane];
         Sanitizer::instance().note_write(s.addr_of(i), sizeof(T), block_idx_,
                                          warp_in_block_, lane,
                                          /*atomic=*/false);
-      if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
-        nsegs += group_miss(s.addr_of(i) / kGmemSegment);
+        if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
+          nsegs += group_miss(s.addr_of(i) / kGmemSegment);
+      }
+    } else if (m != 0) {
+      const auto [lo, hi] = lane_index_range(idx, m);
+      s.check_range(lo, hi);
+      T* p = s.data();
+      const auto lane_body = [&](int lane) {
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        p[i] = v[lane];
+        if (!gmem_cache_.hit(s.addr_of(i) / kGmemSegment))
+          nsegs += group_miss(s.addr_of(i) / kGmemSegment);
+      };
+      if (m == kFullMask) {
+        for (int lane = 0; lane < kWarpSize; ++lane) lane_body(lane);
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1)
+          lane_body(std::countr_zero(rem));
+      }
     }
     account_gmem(m, nsegs);
   }
@@ -163,7 +417,7 @@ class Warp {
   template <class T>
   T load_scalar(DeviceSpan<const T> s, std::size_t i) {
     account_gmem(kFullMask, 1);
-    if (sanitizer_enabled())
+    if (env_.sanitize)
       Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
                                       warp_in_block_, /*lane=*/-1);
     return s[i];
@@ -173,24 +427,41 @@ class Warp {
   template <class T, class I>
   LaneArray<T> load_tex(DeviceSpan<const T> s, const LaneArray<I>& idx,
                         Mask m) {
+    if (env_.fast_path && m != 0 && is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) &&
+          affine_stride_ok(step, sizeof(T)))
+        return tex_affine(s, base, step, n);
+    }
     LaneArray<T> r{};
     int nsegs = 0;
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      if (!lane_active(m, lane)) continue;
-      const auto i = static_cast<std::size_t>(idx[lane]);
-      r[lane] = s[i];
-      if (sanitizer_enabled())
+    if (env_.sanitize) {
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int lane = std::countr_zero(rem);
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        r[lane] = s[i];
         Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
                                         warp_in_block_, lane);
-      if (!tex_cache_.hit(s.addr_of(i) / kTexSegment)) ++nsegs;
+        if (!tex_cache_.hit(s.addr_of(i) / kTexSegment)) ++nsegs;
+      }
+    } else if (m != 0) {
+      const auto [lo, hi] = lane_index_range(idx, m);
+      s.check_range(lo, hi);
+      const T* p = s.data();
+      const auto lane_body = [&](int lane) {
+        const auto i = static_cast<std::size_t>(idx[lane]);
+        r[lane] = p[i];
+        if (!tex_cache_.hit(s.addr_of(i) / kTexSegment)) ++nsegs;
+      };
+      if (m == kFullMask) {
+        for (int lane = 0; lane < kWarpSize; ++lane) lane_body(lane);
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1)
+          lane_body(std::countr_zero(rem));
+      }
     }
-    env_.counters.tex_requests += 1;
-    env_.counters.tex_transactions += static_cast<std::uint64_t>(nsegs);
-    env_.counters.tex_bytes += static_cast<std::uint64_t>(nsegs) * kTexSegment;
-    if (s.size() * sizeof(T) > env_.tex_footprint_bytes)
-      env_.tex_footprint_bytes = s.size() * sizeof(T);
-    issue_ += 1;
-    mem_instr_ += 1;
+    account_tex(s, nsegs);
     return r;
   }
 
@@ -201,10 +472,10 @@ class Warp {
     std::uint64_t addrs[kWarpSize];
     int n = 0;
     std::uint64_t dups = 0;
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      if (!lane_active(m, lane)) continue;
+    for (Mask rem = m; rem != 0; rem &= rem - 1) {
+      const int lane = std::countr_zero(rem);
       const auto i = static_cast<std::size_t>(idx[lane]);
-      if (sanitizer_enabled()) {
+      if (env_.sanitize) {
         // An atomic RMW *reads* the previous value: uninitialized targets
         // are a defect (engines must zero-fill y before accumulating).
         Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
@@ -425,24 +696,118 @@ class Warp {
 
   /// Direct-mapped tag array standing in for the warp's share of L2 (or of
   /// the texture cache). Collisions evict, which approximates capacity
-  /// pressure: more resident warps -> fewer ways each -> less reuse.
-  struct SectorCache {
-    static constexpr std::size_t kMaxWays = 256;
-    std::uint64_t tags[kMaxWays];
-    std::uint64_t mask;
-    explicit SectorCache(std::size_t ways) : mask(ways - 1) {
-      ACSR_CHECK(ways >= 1 && ways <= kMaxWays &&
+  /// pressure: more resident warps -> fewer ways each -> less reuse. The
+  /// tag storage lives in the KernelEnv and is reclaimed per warp by an
+  /// epoch bump (SectorCacheState), keeping warp setup O(1).
+  class SectorCache {
+   public:
+    SectorCache(SectorCacheState& st, std::size_t ways)
+        : st_(&st), mask_(ways - 1) {
+      ACSR_CHECK(ways >= 1 && ways <= SectorCacheState::kMaxWays &&
                  (ways & (ways - 1)) == 0);
-      for (std::size_t i = 0; i < ways; ++i) tags[i] = ~std::uint64_t{0};
+      ++st_->epoch;
     }
     /// True if resident; inserts otherwise.
     bool hit(std::uint64_t seg) {
-      auto& slot = tags[seg & mask];
-      if (slot == seg) return true;
-      slot = seg;
+      auto& slot = st_->slots[static_cast<std::size_t>(seg & mask_)];
+      if (slot.stamp == st_->epoch && slot.tag == seg) return true;
+      slot.tag = seg;
+      slot.stamp = st_->epoch;
       return false;
     }
+
+   private:
+    SectorCacheState* st_;
+    std::uint64_t mask_;
   };
+
+  /// Affine fast path eligibility: byte addresses must advance by at most
+  /// one sector per lane (then the touched sectors are exactly the
+  /// contiguous range between the first and last lane's sector, with no
+  /// holes) and must be non-decreasing (then distinct sectors appear in
+  /// the same ascending order the per-lane reference loop probes them in,
+  /// so cache end-state and group-L2 insertion order match exactly).
+  static bool affine_stride_ok(long long step, std::size_t elem_size) {
+    return step >= 0 && static_cast<std::uint64_t>(step) * elem_size <=
+                            kGmemSegment;
+  }
+
+  /// Analytic gather for idx[l] = base + l*step over the n-lane active
+  /// prefix: one range bounds check, a memcpy-style lane fill, one cache
+  /// probe per distinct sector. In the reference loop, consecutive lanes
+  /// landing in the same sector re-probe it and hit — no counter or state
+  /// effect — so probing each distinct sector once is bit-identical.
+  template <class T>
+  LaneArray<T> gather_affine(DeviceSpan<const T> s, long long base,
+                             long long step, int n, bool allow_group) {
+    LaneArray<T> r{};
+    const long long last = base + step * (n - 1);
+    s.check_range(base, last);
+    const T* p = s.data();
+    if (step == 1) {
+      std::copy(p + base, p + base + n, r.v.begin());
+    } else {
+      for (int l = 0; l < n; ++l) r[l] = p[base + step * l];
+    }
+    int nsegs = 0;
+    const std::uint64_t s0 =
+        s.addr_of(static_cast<std::size_t>(base)) / kGmemSegment;
+    const std::uint64_t s1 =
+        s.addr_of(static_cast<std::size_t>(last)) / kGmemSegment;
+    for (std::uint64_t seg = s0; seg <= s1; ++seg)
+      if (!gmem_cache_.hit(seg)) nsegs += allow_group ? group_miss(seg) : 1;
+    account_gmem(kFullMask, nsegs);
+    return r;
+  }
+
+  /// Scatter counterpart of gather_affine. For step == 0 the sequential
+  /// per-lane writes leave v[n-1] at the target, which the ascending fill
+  /// loop reproduces.
+  template <class T>
+  void scatter_affine(DeviceSpan<T> s, long long base, long long step, int n,
+                      const LaneArray<T>& v) {
+    const long long last = base + step * (n - 1);
+    s.check_range(base, last);
+    T* p = s.data();
+    if (step == 1) {
+      std::copy(v.v.begin(), v.v.begin() + n, p + base);
+    } else {
+      for (int l = 0; l < n; ++l) p[base + step * l] = v[l];
+    }
+    int nsegs = 0;
+    const std::uint64_t s0 =
+        s.addr_of(static_cast<std::size_t>(base)) / kGmemSegment;
+    const std::uint64_t s1 =
+        s.addr_of(static_cast<std::size_t>(last)) / kGmemSegment;
+    for (std::uint64_t seg = s0; seg <= s1; ++seg)
+      if (!gmem_cache_.hit(seg)) nsegs += group_miss(seg);
+    account_gmem(kFullMask, nsegs);
+  }
+
+  /// Texture-path analogue of gather_affine (no concurrent-group filter on
+  /// the texture path, matching the reference loop).
+  template <class T>
+  LaneArray<T> tex_affine(DeviceSpan<const T> s, long long base,
+                          long long step, int n) {
+    LaneArray<T> r{};
+    const long long last = base + step * (n - 1);
+    s.check_range(base, last);
+    const T* p = s.data();
+    if (step == 1) {
+      std::copy(p + base, p + base + n, r.v.begin());
+    } else {
+      for (int l = 0; l < n; ++l) r[l] = p[base + step * l];
+    }
+    int nsegs = 0;
+    const std::uint64_t s0 =
+        s.addr_of(static_cast<std::size_t>(base)) / kTexSegment;
+    const std::uint64_t s1 =
+        s.addr_of(static_cast<std::size_t>(last)) / kTexSegment;
+    for (std::uint64_t seg = s0; seg <= s1; ++seg)
+      if (!tex_cache_.hit(seg)) ++nsegs;
+    account_tex(s, nsegs);
+    return r;
+  }
 
   static void note_segment(std::uint64_t* segs, int& n, std::uint64_t seg) {
     for (int k = 0; k < n; ++k)
@@ -462,6 +827,17 @@ class Warp {
     env_.counters.gmem_transactions += static_cast<std::uint64_t>(nsegs);
     env_.counters.gmem_bytes +=
         static_cast<std::uint64_t>(nsegs) * kGmemSegment;
+    issue_ += 1;
+    mem_instr_ += 1;
+  }
+
+  template <class T>
+  void account_tex(DeviceSpan<const T> s, int nsegs) {
+    env_.counters.tex_requests += 1;
+    env_.counters.tex_transactions += static_cast<std::uint64_t>(nsegs);
+    env_.counters.tex_bytes += static_cast<std::uint64_t>(nsegs) * kTexSegment;
+    if (s.size() * sizeof(T) > env_.tex_footprint_bytes)
+      env_.tex_footprint_bytes = s.size() * sizeof(T);
     issue_ += 1;
     mem_instr_ += 1;
   }
@@ -490,6 +866,8 @@ class Block {
         grid_dim_(grid_dim),
         sm_(sm) {
     env_.counters.blocks += 1;
+    // Shared memory from the previous block is dead; recycle the pool.
+    env_.smem_arena.reset();
   }
 
   long long block_idx() const { return block_idx_; }
@@ -516,18 +894,19 @@ class Block {
   }
 
   /// Block-scope shared memory. Each call returns a fresh zero-filled
-  /// region that lives for the rest of the block.
+  /// region that lives for the rest of the block (backed by the launch's
+  /// bump arena, so no per-call heap allocation).
   template <class T>
   DeviceSpan<T> shared(std::size_t n) {
-    auto storage = std::make_unique<std::vector<double>>(
+    double* storage = env_.smem_arena.take(
         (n * sizeof(T) + sizeof(double) - 1) / sizeof(double));
-    T* p = reinterpret_cast<T*>(storage->data());
+    T* p = reinterpret_cast<T*>(storage);
     std::fill(p, p + n, T{});
-    shared_storage_.push_back(std::move(storage));
+    ++shared_count_;
     // Shared memory is not part of the global address space; give it a
     // sentinel address range that cannot collide with arena addresses.
-    const std::uint64_t addr = 0xffff000000000000ULL +
-                               shared_storage_.size() * 0x100000ULL;
+    const std::uint64_t addr =
+        0xffff000000000000ULL + shared_count_ * 0x100000ULL;
     return DeviceSpan<T>(p, n, addr);
   }
 
@@ -543,7 +922,7 @@ class Block {
   int block_dim_;
   long long grid_dim_;
   int sm_;
-  std::vector<std::unique_ptr<std::vector<double>>> shared_storage_;
+  std::uint64_t shared_count_ = 0;
 };
 
 }  // namespace acsr::vgpu

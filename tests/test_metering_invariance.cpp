@@ -1,0 +1,346 @@
+// Metering-invariance contract of the executor fast path (docs/PERF.md).
+//
+// Warp's affine-gather fast path, the epoch-stamped sector caches, and the
+// shared-memory arena are pure wall-clock optimisations: they must not
+// change a single metered event. This harness runs every registered engine
+// over seeded matrices spanning the structural space in three executor
+// modes —
+//
+//   fast        the default: analytic affine gathers, range-checked
+//   reference   ACSR_REFERENCE_METERING semantics: the original per-lane
+//               probe loops everywhere (set_reference_metering(true))
+//   sanitized   fully instrumented (per-access memcheck/racecheck hooks;
+//               the fast path is disabled automatically)
+//
+// and asserts that the numeric result, every Counters field, and every
+// KernelRun roofline term are BIT-identical across the three.
+//
+// Each run uses a fresh Device: MemoryArena address slices are spaced
+// 2^44 bytes apart, so corresponding buffers in consecutive arenas have
+// addresses that differ by a multiple of 2^44 — which preserves both the
+// 32 B sector offsets and the sector index modulo any power-of-two cache
+// way count (<= 256). Identical access sequences therefore meter
+// identically on fresh devices, and any divergence observed here is a real
+// fast-path bug, not address noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "graph/powerlaw.hpp"
+#include "graph/rmat.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/sanitizer.hpp"
+
+namespace {
+
+using acsr::Rng;
+using acsr::core::EngineConfig;
+using acsr::core::make_engine;
+using acsr::mat::Csr;
+using acsr::mat::index_t;
+using acsr::mat::offset_t;
+using acsr::vgpu::Counters;
+using acsr::vgpu::Device;
+using acsr::vgpu::DeviceSpec;
+using acsr::vgpu::KernelRun;
+using acsr::vgpu::Sanitizer;
+
+const char* const kEngines[] = {
+    "csr-scalar", "csr-vector", "csr",  "ell",  "coo",
+    "hyb",        "brc",        "bccoo", "tcoo", "sic",
+    "bcsr",       "sell",       "merge-csr", "acsr", "acsr-binning",
+};
+
+Csr<double> rmat_matrix(int scale, double epv, Rng& rng) {
+  acsr::graph::RmatParams p;
+  p.scale = scale;
+  p.edges_per_vertex = epv;
+  p.seed = rng.next_u64();
+  Csr<double> m = Csr<double>::from_coo(acsr::graph::rmat(p));
+  for (auto& v : m.vals) v = rng.next_double(0.5, 1.5);
+  return m;
+}
+
+Csr<double> powerlaw(index_t rows, index_t cols, double mean, Rng& rng) {
+  acsr::graph::PowerLawSpec s;
+  s.rows = rows;
+  s.cols = cols;
+  s.mean_nnz_per_row = mean;
+  s.alpha = 1.6;
+  s.max_row_nnz = std::max<offset_t>(1, cols / 2);
+  s.tail_rows = 2;
+  s.seed = rng.next_u64();
+  Csr<double> m = acsr::graph::powerlaw_matrix(s);
+  for (auto& v : m.vals) v = rng.next_double(0.5, 1.5);
+  return m;
+}
+
+/// A dense row past the dynamic-parallelism bin threshold plus sparse
+/// rest: exercises ACSR's child launches through all three modes.
+Csr<double> dense_row_matrix(index_t n, int dense_nnz, Rng& rng) {
+  Csr<double> m;
+  m.rows = n;
+  m.cols = n;
+  m.row_off.assign(1, 0);
+  const auto dense_at = static_cast<index_t>(n / 3);
+  std::vector<index_t> cols;
+  for (index_t r = 0; r < n; ++r) {
+    const int want = r == dense_at ? dense_nnz
+                                   : static_cast<int>(rng.next_below(4));
+    cols.clear();
+    while (static_cast<int>(cols.size()) < want) {
+      cols.push_back(static_cast<index_t>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    }
+    for (index_t c : cols) {
+      m.col_idx.push_back(c);
+      m.vals.push_back(rng.next_double(0.5, 1.5));
+    }
+    m.row_off.push_back(static_cast<offset_t>(m.col_idx.size()));
+  }
+  return m;
+}
+
+Csr<double> all_empty(index_t rows, index_t cols) {
+  Csr<double> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_off.assign(static_cast<std::size_t>(rows) + 1, 0);
+  return m;
+}
+
+std::vector<Csr<double>> make_matrices(std::uint64_t seed) {
+  const Rng root(seed);
+  std::vector<Csr<double>> ms;
+  Rng r1 = root.split(1);
+  ms.push_back(rmat_matrix(6, 4.0, r1));
+  Rng r2 = root.split(2);
+  ms.push_back(powerlaw(180, 160, 5.0, r2));
+  Rng r3 = root.split(3);
+  ms.push_back(dense_row_matrix(300, 300, r3));
+  ms.push_back(all_empty(17, 9));
+  Rng r4 = root.split(4);
+  ms.push_back(powerlaw(40, 2000, 30.0, r4));  // wide rows, long gathers
+  return ms;
+}
+
+#define EXPECT_FIELD_EQ(field) \
+  EXPECT_EQ(a.field, b.field) << "counter '" #field "' diverges"
+
+void expect_counters_identical(const Counters& a, const Counters& b) {
+  EXPECT_FIELD_EQ(blocks);
+  EXPECT_FIELD_EQ(warps);
+  EXPECT_FIELD_EQ(issue_cycles);
+  EXPECT_FIELD_EQ(sp_flops);
+  EXPECT_FIELD_EQ(dp_flops);
+  EXPECT_FIELD_EQ(gmem_requests);
+  EXPECT_FIELD_EQ(gmem_transactions);
+  EXPECT_FIELD_EQ(gmem_bytes);
+  EXPECT_FIELD_EQ(tex_requests);
+  EXPECT_FIELD_EQ(tex_transactions);
+  EXPECT_FIELD_EQ(tex_bytes);
+  EXPECT_FIELD_EQ(shuffle_ops);
+  EXPECT_FIELD_EQ(smem_accesses);
+  EXPECT_FIELD_EQ(atomic_ops);
+  EXPECT_FIELD_EQ(atomic_conflicts);
+  EXPECT_FIELD_EQ(child_launches);
+  EXPECT_FIELD_EQ(child_blocks);
+}
+
+void expect_run_identical(const KernelRun& a, const KernelRun& b) {
+  expect_counters_identical(a.counters, b.counters);
+  // Roofline terms: derived purely from counters + spec, so they must be
+  // bit-equal doubles, not merely close.
+  EXPECT_EQ(a.issue_s, b.issue_s);
+  EXPECT_EQ(a.flop_s, b.flop_s);
+  EXPECT_EQ(a.memory_s, b.memory_s);
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(a.launch_s, b.launch_s);
+  EXPECT_EQ(a.dp_s, b.dp_s);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+}
+
+#undef EXPECT_FIELD_EQ
+
+struct ModeResult {
+  bool skipped = false;  // ELL refusing a pathological shape
+  double duration = 0.0;
+  std::vector<double> y;
+  KernelRun run;
+};
+
+enum class Mode { kFast, kReference, kSanitized };
+
+ModeResult run_mode(const Csr<double>& a, const char* engine_name,
+                    const std::vector<double>& x, Mode mode) {
+  Sanitizer& san = Sanitizer::instance();
+  acsr::vgpu::set_reference_metering(mode == Mode::kReference);
+  if (mode == Mode::kSanitized) {
+    san.clear();
+    san.set_enabled(true);
+  }
+
+  ModeResult res;
+  {
+    Device dev(DeviceSpec::gtx_titan());
+    EngineConfig cfg;
+    cfg.hyb_breakeven = 64;
+    try {
+      auto engine = make_engine<double>(engine_name, dev, a, cfg);
+      res.duration = engine->simulate(x, res.y);
+      res.run = engine->report().last_run;
+    } catch (const acsr::InputError&) {
+      EXPECT_STREQ(engine_name, "ell");
+      res.skipped = true;
+    }
+  }
+
+  acsr::vgpu::set_reference_metering(false);
+  if (mode == Mode::kSanitized) {
+    EXPECT_TRUE(san.reports().empty())
+        << san.reports().size() << " sanitizer findings; first: "
+        << san.reports().front().message;
+    san.set_enabled(false);
+    san.clear();
+  }
+  return res;
+}
+
+TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
+  const auto matrices = make_matrices(/*seed=*/2014);
+  const Rng root(0x5eed);
+
+  std::size_t compared = 0;
+  for (std::size_t mi = 0; mi < matrices.size(); ++mi) {
+    const Csr<double>& a = matrices[mi];
+    a.validate();
+    Rng xrng = root.split(mi + 1);
+    std::vector<double> x(static_cast<std::size_t>(a.cols));
+    for (auto& v : x) v = xrng.next_double(0.5, 1.5);
+
+    for (const char* engine_name : kEngines) {
+      SCOPED_TRACE("matrix #" + std::to_string(mi) + " engine " +
+                   engine_name);
+      const ModeResult fast = run_mode(a, engine_name, x, Mode::kFast);
+      const ModeResult ref = run_mode(a, engine_name, x, Mode::kReference);
+      const ModeResult san = run_mode(a, engine_name, x, Mode::kSanitized);
+      ASSERT_EQ(fast.skipped, ref.skipped);
+      ASSERT_EQ(fast.skipped, san.skipped);
+      if (fast.skipped) continue;
+
+      // Numeric result: the fast path reads the same elements in the same
+      // per-lane order, so y must match to the last bit.
+      ASSERT_EQ(fast.y.size(), ref.y.size());
+      ASSERT_EQ(fast.y.size(), san.y.size());
+      for (std::size_t r = 0; r < fast.y.size(); ++r) {
+        EXPECT_EQ(fast.y[r], ref.y[r]) << "y diverges at row " << r;
+        EXPECT_EQ(fast.y[r], san.y[r]) << "y diverges at row " << r;
+      }
+
+      EXPECT_EQ(fast.duration, ref.duration);
+      EXPECT_EQ(fast.duration, san.duration);
+      {
+        SCOPED_TRACE("fast vs reference");
+        const KernelRun &a_run = fast.run, &b_run = ref.run;
+        expect_run_identical(a_run, b_run);
+      }
+      {
+        SCOPED_TRACE("fast vs sanitized");
+        expect_run_identical(fast.run, san.run);
+      }
+      ++compared;
+    }
+  }
+  // The contract must have been exercised broadly, not vacuously skipped.
+  EXPECT_GE(compared, matrices.size() * 14);
+  std::cout << "[invariance] " << compared << " engine/matrix cells over "
+            << matrices.size() << " matrices, 3 modes each\n";
+}
+
+/// The raw warp-level primitives, pinned directly: affine loads/stores at
+/// every stride the fast path accepts (0, partial-sector, exactly one
+/// sector) plus the rejection cases (negative, > one sector, non-affine),
+/// compared fast-vs-reference at counter granularity.
+TEST(MeteringInvariance, WarpPrimitivesMatchAtEveryStride) {
+  using acsr::vgpu::LaneArray;
+
+  struct Pattern {
+    const char* name;
+    long long base, step;
+    int live;  // active prefix lanes
+  };
+  const Pattern patterns[] = {
+      {"broadcast (step 0)", 40, 0, 32},   {"unit stride", 3, 1, 32},
+      {"unit stride ragged", 5, 1, 19},    {"stride 2", 0, 2, 32},
+      {"stride 4 (sector)", 8, 4, 32},     {"stride 5 (reject)", 0, 5, 32},
+      {"descending (reject)", 200, -3, 32}, {"single lane", 77, 9, 1},
+  };
+
+  for (const Pattern& p : patterns) {
+    SCOPED_TRACE(p.name);
+    KernelRun runs[2];
+    std::vector<double> outs[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      acsr::vgpu::set_reference_metering(mode == 1);
+      Device dev(DeviceSpec::gtx_titan());
+      auto src = dev.alloc<double>(4096, "src");
+      for (std::size_t i = 0; i < 4096; ++i)
+        src.host()[i] = static_cast<double>(i) * 0.5;
+      auto dst = dev.alloc<double>(4096, "dst");
+      dst.host().assign(4096, 0.0);
+      auto s = src.cspan();
+      auto d = dst.span();
+      acsr::vgpu::LaunchConfig cfg;
+      cfg.name = "stride_probe";
+      cfg.block_dim = 64;
+      cfg.grid_dim = 2;
+      runs[mode] = dev.launch_warps(cfg, [&](acsr::vgpu::Warp& w) {
+        const auto idx =
+            LaneArray<long long>::iota(p.base, p.step);
+        const acsr::vgpu::Mask m = acsr::vgpu::first_lanes(p.live);
+        const auto v = w.load(s, idx, m);
+        const auto t = w.load_tex(s, idx, m);
+        LaneArray<double> sum;
+        for (int l = 0; l < acsr::vgpu::kWarpSize; ++l)
+          sum[l] = v[l] + t[l];
+        w.store(d, idx, sum, m);
+      });
+      outs[mode] = dst.host();
+    }
+    acsr::vgpu::set_reference_metering(false);
+    expect_run_identical(runs[0], runs[1]);
+    EXPECT_EQ(outs[0], outs[1]);
+  }
+
+  // Non-affine gather (hash scatter): must take the reference loop on both
+  // modes and still agree.
+  KernelRun runs[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    acsr::vgpu::set_reference_metering(mode == 1);
+    Device dev(DeviceSpec::gtx_titan());
+    auto src = dev.alloc<double>(4096, "src");
+    src.host().assign(4096, 1.0);
+    auto s = src.cspan();
+    acsr::vgpu::LaunchConfig cfg;
+    cfg.name = "scatter_probe";
+    cfg.block_dim = 64;
+    cfg.grid_dim = 2;
+    runs[mode] = dev.launch_warps(cfg, [&](acsr::vgpu::Warp& w) {
+      const auto idx = w.global_threads().map(
+          [](long long t) { return (t * 2654435761LL + 7) & 4095; });
+      const auto v = w.load(s, idx, w.active_mask());
+      w.count_flops(w.active_mask(), static_cast<int>(v[0] > 0.0), true);
+    });
+  }
+  acsr::vgpu::set_reference_metering(false);
+  expect_run_identical(runs[0], runs[1]);
+}
+
+}  // namespace
