@@ -6,8 +6,27 @@
 # the corpus reduction factor (default 64; smaller = bigger matrices).
 #
 # --quick: build + tier-1 tests + the fixed-seed differential fuzz
-# harness only (the CI gate; see docs/TESTING.md). No benches/examples.
+# harness + the fault-injection label only (the CI gate; see
+# docs/TESTING.md). No benches/examples.
+#
+# Every stage's exit code is checked explicitly (on top of `set -e` /
+# `pipefail`): a red test suite, a crashed bench, or a failed example
+# fails the whole reproduction with a message naming the stage.
 set -euo pipefail
+
+# run_stage <name> <logfile> <cmd...>: tee the stage's output, keep the
+# stage's own exit code (not tee's / tail's), and fail loudly.
+run_stage() {
+  local name="$1" logfile="$2"
+  shift 2
+  local status=0
+  # pipefail is on: a failing stage surfaces through the tee/tail pipe.
+  "$@" 2>&1 | tee "$logfile" | tail -2 || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "reproduce.sh: stage '$name' failed (exit $status) — see $logfile" >&2
+    exit "$status"
+  fi
+}
 
 quick=0
 if [ "${1:-}" = "--quick" ]; then
@@ -28,22 +47,30 @@ cmake --build build >> "$out/cmake.log"
 
 if [ "$quick" = 1 ]; then
   echo "== tier-1 tests"
-  ctest --test-dir build -L tier1 2>&1 | tee "$out/tests_tier1.txt" | tail -2
+  run_stage "tier-1 tests" "$out/tests_tier1.txt" \
+    ctest --test-dir build -L tier1
   echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014})"
-  ctest --test-dir build -L fuzz 2>&1 | tee "$out/tests_fuzz.txt" | tail -2
+  run_stage "differential fuzz" "$out/tests_fuzz.txt" \
+    ctest --test-dir build -L fuzz
+  echo "== fault-injection suite (docs/RESILIENCE.md)"
+  run_stage "fault-injection suite" "$out/tests_faults.txt" \
+    ctest --test-dir build -L faults
   echo "done — quick gate passed, outputs in $out/"
   exit 0
 fi
 
 echo "== tests"
-ctest --test-dir build 2>&1 | tee "$out/tests.txt" | tail -2
+run_stage "full test suite" "$out/tests.txt" ctest --test-dir build
 
 echo "== tables & figures"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name="$(basename "$b")"
   echo "   $name"
-  "$b" > "$out/$name.txt" 2>&1
+  "$b" > "$out/$name.txt" 2>&1 || {
+    echo "reproduce.sh: bench '$name' failed (exit $?) — see $out/$name.txt" >&2
+    exit 1
+  }
 done
 # The per-device Fig. 5 variants.
 build/bench/bench_fig5_gflops --device=gtx580 > "$out/bench_fig5_gflops.gtx580.txt"
@@ -54,7 +81,10 @@ for e in build/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue
   name="$(basename "$e")"
   echo "   $name"
-  "$e" > "$out/example_$name.txt" 2>&1
+  "$e" > "$out/example_$name.txt" 2>&1 || {
+    echo "reproduce.sh: example '$name' failed (exit $?) — see $out/example_$name.txt" >&2
+    exit 1
+  }
 done
 
 echo "done — outputs in $out/ (compare against EXPERIMENTS.md)"

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: configure, build, run the tier-1 test label (timed — executor
 # wall-clock is a tracked quantity, see docs/PERF.md), the cross-engine
-# differential fuzz harness at a fixed seed, then a quick wall-clock bench
-# smoke that refreshes BENCH_wallclock.json at the repo root. Fails on the
-# first broken step. See docs/TESTING.md for the label scheme.
+# differential fuzz harness at a fixed seed, the fault-injection matrix
+# (one representative ACSR_FAULTS plan per fault class through the
+# FaultEnv smoke — see docs/RESILIENCE.md — plus ctest -L faults), then a
+# quick wall-clock bench smoke that refreshes BENCH_wallclock.json at the
+# repo root. Fails on the first broken step. See docs/TESTING.md for the
+# label scheme.
 #
 # Usage: scripts/check.sh [build_dir]
 set -euo pipefail
@@ -30,6 +33,22 @@ echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014}, ${ACSR_FUZZ_MATRICES:-
 ACSR_FUZZ_SEED="${ACSR_FUZZ_SEED:-2014}" \
 ACSR_FUZZ_MATRICES="${ACSR_FUZZ_MATRICES:-200}" \
   ctest --test-dir "$build" -L fuzz --output-on-failure
+
+echo "== fault-injection matrix (one plan per fault class)"
+fault_plans=(
+  "oom@alloc#1"
+  "transient@launch#1"
+  "ecc@launch#2:seed=7"
+  "corrupt@transfer#1"
+  "stall@transfer#1:ms=20"
+  "lost@launch#2"
+)
+for plan in "${fault_plans[@]}"; do
+  echo "   ACSR_FAULTS=\"$plan\""
+  ACSR_FAULTS="$plan" "$build/tests/test_faults" \
+    --gtest_filter='FaultEnv.*' --gtest_brief=1
+done
+ctest --test-dir "$build" -L faults --output-on-failure
 
 echo "== wall-clock bench smoke (bench_wallclock --quick)"
 ACSR_BENCH_QUICK=1 scripts/bench.sh "$build"

@@ -5,6 +5,7 @@
 // Table-IV crossover points empirically.
 #pragma once
 
+#include "apps/checkpoint.hpp"
 #include "apps/power_method.hpp"
 #include "mat/csr.hpp"
 
@@ -85,6 +86,100 @@ CgResult<T> conjugate_gradient(spmv::SpmvEngine<T>& engine,
   }
   res.residual_norm = std::sqrt(rr);
   res.x = std::move(x);
+  return res;
+}
+
+/// Checkpointed CG over a resilient engine (docs/RESILIENCE.md): the
+/// solver state (x, r, p, r.r) is snapshotted every `ck.interval`
+/// committed iterations; each SpMV runs through the device path so
+/// injected faults strike mid-solve; restarts happen on escaped typed
+/// faults, on SpMVs spanning a device failover, and when the residual
+/// guard (finiteness of p.Ap and r.r) flags silent corruption.
+template <class T>
+CgResult<T> conjugate_gradient_checkpointed(core::ResilientEngine<T>& engine,
+                                            const std::vector<T>& b,
+                                            const CgConfig& cfg = {},
+                                            const CheckpointConfig& ck = {}) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(), "CG needs a square matrix");
+  ACSR_CHECK(b.size() == n);
+
+  struct State {
+    std::vector<T> x, r, p;
+    double rr = 0.0;
+  };
+
+  auto dot = [](const std::vector<T>& a, const std::vector<T>& c) {
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      s += static_cast<double>(a[i]) * static_cast<double>(c[i]);
+    return s;
+  };
+
+  CgResult<T> res;
+  res.total_s = engine.report().preprocess_s;
+
+  State st;
+  st.x.assign(n, T{0});
+  st.r = b;  // r = b - A*0
+  st.p = st.r;
+  st.rr = dot(st.r, st.r);
+  const double b_norm = std::sqrt(std::max(dot(b, b), 1e-300));
+  Checkpointer<T, State> ckpt(engine, ck, st);
+
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 10 * n * sizeof(T), 5);
+
+  std::vector<T> ap;
+  int k = 0;
+  while (k < cfg.max_iters) {
+    const int failovers_before = engine.failovers();
+    double t;
+    try {
+      t = engine.simulate(st.p, ap);
+    } catch (const vgpu::DeviceFault& e) {
+      k = ckpt.restart(std::string("device fault: ") + e.what(), &st);
+      continue;
+    }
+    res.total_s += t + aux_s;
+    res.spmv_s += t;
+    const double pap = dot(st.p, ap);
+    if (!std::isfinite(pap) || !all_finite(ap)) {
+      engine.scrub();
+      k = ckpt.restart("residual guard tripped (p.Ap)", &st);
+      continue;
+    }
+    if (engine.failovers() != failovers_before) {
+      k = ckpt.restart("spmv spanned device failover", &st);
+      continue;
+    }
+    if (pap <= 0.0) break;  // not SPD (or numerical breakdown)
+    const double alpha = st.rr / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      st.x[i] += static_cast<T>(alpha) * st.p[i];
+      st.r[i] -= static_cast<T>(alpha) * ap[i];
+    }
+    const double rr_new = dot(st.r, st.r);
+    if (!std::isfinite(rr_new)) {
+      engine.scrub();
+      k = ckpt.restart("residual guard tripped (r.r)", &st);
+      continue;
+    }
+    res.iterations = k + 1;
+    if (std::sqrt(rr_new) / b_norm < cfg.tolerance) {
+      st.rr = rr_new;
+      res.converged = true;
+      break;
+    }
+    const double beta = rr_new / st.rr;
+    for (std::size_t i = 0; i < n; ++i)
+      st.p[i] = st.r[i] + static_cast<T>(beta) * st.p[i];
+    st.rr = rr_new;
+    ckpt.maybe_checkpoint(k, st);
+    ++k;
+  }
+  res.residual_norm = std::sqrt(st.rr);
+  res.x = std::move(st.x);
   return res;
 }
 

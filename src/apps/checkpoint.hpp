@@ -1,0 +1,153 @@
+// Checkpoint/restart protocol for the iterative solvers.
+//
+// The iterative apps (PageRank, CG, the power method) run hundreds of
+// SpMVs against one resident matrix; a device loss or an undetected bit
+// flip mid-run would otherwise forfeit all accumulated progress. The
+// protocol (docs/RESILIENCE.md):
+//
+//   * every `interval` committed iterations the solver snapshots its
+//     state vectors (host-side — the device holds no solver state between
+//     SpMVs in this model, so the snapshot is the recovery line);
+//   * each iteration's SpMV runs through ResilientEngine::simulate, so
+//     transient faults, detected corruption, preprocessing OOM and device
+//     loss are repaired by the driver underneath;
+//   * the solver still *restarts from the last checkpoint* when (a) a
+//     fault escaped the driver's budgets, (b) the SpMV spanned a device
+//     failover (an SpMV that overlapped a loss is not trusted), or (c) a
+//     residual/mass guard flags the iterate — the application-level net
+//     that catches *silent* corruption no hardware signal reports;
+//   * every checkpoint and restart is recorded on the driver's timeline
+//     next to the fault/recovery events, so a run's full fault history
+//     reads off one log.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apps/power_method.hpp"
+#include "core/resilient.hpp"
+
+namespace acsr::apps {
+
+struct CheckpointConfig {
+  /// Committed iterations between snapshots. 0 disables checkpointing
+  /// (faults escalate to the caller as typed errors).
+  int interval = 16;
+  /// Restarts allowed before the solver reports the fault to the caller.
+  int max_restarts = 8;
+};
+
+template <class T>
+bool all_finite(const std::vector<T>& v) {
+  for (const T& x : v)
+    if (!std::isfinite(static_cast<double>(x))) return false;
+  return true;
+}
+
+/// Snapshot-and-restart bookkeeping shared by the checkpointed solvers:
+/// holds the last committed state, counts restarts, and writes
+/// checkpoint/restart marks onto the resilient driver's timeline.
+template <class T, class State>
+class Checkpointer {
+ public:
+  Checkpointer(core::ResilientEngine<T>& engine, const CheckpointConfig& cfg,
+               State initial)
+      : engine_(engine), cfg_(cfg), snap_(std::move(initial)) {}
+
+  /// Called after iteration k commits; snapshots on the interval.
+  void maybe_checkpoint(int k, const State& state) {
+    if (cfg_.interval <= 0 || (k + 1) % cfg_.interval != 0) return;
+    snap_ = state;
+    snap_iter_ = k + 1;
+    engine_.note_event("checkpoint@iter" + std::to_string(k + 1));
+  }
+
+  /// Roll back to the last snapshot. Returns the iteration to resume from.
+  /// Throws (rethrows the in-flight exception if any, else InputError)
+  /// once the restart budget is exhausted.
+  int restart(const std::string& why, State* state) {
+    if (++restarts_ > cfg_.max_restarts || cfg_.interval <= 0) {
+      if (std::current_exception()) throw;  // keep the typed fault
+      ACSR_REQUIRE(false, "checkpoint restart budget exhausted: " << why);
+    }
+    engine_.note_event("restart:iter" + std::to_string(snap_iter_) + " (" +
+                       why + ")");
+    *state = snap_;
+    return snap_iter_;
+  }
+
+  int restarts() const { return restarts_; }
+
+ private:
+  core::ResilientEngine<T>& engine_;
+  CheckpointConfig cfg_;
+  State snap_;
+  int snap_iter_ = 0;
+  int restarts_ = 0;
+};
+
+/// Checkpointed power method over a resilient engine. Same protocol as
+/// pagerank_checkpointed / conjugate_gradient_checkpointed: SpMVs run on
+/// the device path, the normalised iterate is snapshotted on the interval,
+/// and the unit-norm guard (the iterate is renormalised every step, so a
+/// non-finite or zero ||A v|| means device state diverged from host truth)
+/// triggers a scrub + restart.
+template <class T>
+AppResult<T> power_method_checkpointed(core::ResilientEngine<T>& engine,
+                                       const PowerIterConfig& cfg = {},
+                                       const CheckpointConfig& ck = {}) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(),
+                 "power method needs a square matrix");
+  AppResult<T> res;
+  std::vector<T> v(n, n == 0 ? T{0}
+                             : static_cast<T>(1.0 / std::sqrt(
+                                                  static_cast<double>(n))));
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
+  Checkpointer<T, std::vector<T>> ckpt(engine, ck, v);
+
+  std::vector<T> y;
+  int k = 0;
+  while (k < cfg.max_iters) {
+    const int failovers_before = engine.failovers();
+    double t;
+    try {
+      t = engine.simulate(v, y);
+    } catch (const vgpu::DeviceFault& e) {
+      k = ckpt.restart(std::string("device fault: ") + e.what(), &v);
+      continue;
+    }
+    res.total_s += t + aux_s;
+    res.spmv_s += t;
+    double norm = 0.0;
+    for (const T& x : y)
+      norm += static_cast<double>(x) * static_cast<double>(x);
+    norm = std::sqrt(norm);
+    if (!std::isfinite(norm) || !all_finite(y)) {
+      engine.scrub();
+      k = ckpt.restart("unit-norm guard tripped", &v);
+      continue;
+    }
+    if (engine.failovers() != failovers_before) {
+      k = ckpt.restart("spmv spanned device failover", &v);
+      continue;
+    }
+    if (norm == 0.0) break;  // matrix annihilated the iterate
+    for (auto& x : y) x = static_cast<T>(static_cast<double>(x) / norm);
+    res.iterations = k + 1;
+    const double dist = euclidean_distance(y, v);
+    v.swap(y);
+    if (dist < cfg.epsilon) {
+      res.converged = true;
+      break;
+    }
+    ckpt.maybe_checkpoint(k, v);
+    ++k;
+  }
+  res.scores = std::move(v);
+  return res;
+}
+
+}  // namespace acsr::apps

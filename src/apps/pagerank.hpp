@@ -3,6 +3,7 @@
 // convergence with epsilon = 1e-6.
 #pragma once
 
+#include "apps/checkpoint.hpp"
 #include "apps/power_method.hpp"
 #include "mat/csr.hpp"
 
@@ -70,6 +71,82 @@ AppResult<T> pagerank(spmv::SpmvEngine<T>& engine, const PageRankConfig& cfg,
       res.converged = true;
       break;
     }
+  }
+  res.scores = std::move(pr);
+  return res;
+}
+
+/// Checkpointed PageRank over a resilient engine (docs/RESILIENCE.md).
+///
+/// Differences from pagerank(): every SpMV runs through the *device* path
+/// (ResilientEngine::simulate) so injected faults strike mid-run; the PR
+/// vector is checkpointed every `ck.interval` committed iterations; and
+/// the solver restarts from the last checkpoint when a typed fault escapes
+/// the driver, when an SpMV spanned a device failover, or when the
+/// stochastic-mass guard flags the iterate (sum(PR') must stay in
+/// (0, 1 + eps] for a damped row-stochastic matrix — the net that catches
+/// silent corruption). Converges to the same ranks as a fault-free run:
+/// restarted iterations recompute bit-identical values.
+template <class T>
+AppResult<T> pagerank_checkpointed(core::ResilientEngine<T>& engine,
+                                   const PageRankConfig& cfg,
+                                   const CheckpointConfig& ck = {}) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(),
+                 "PageRank needs a square matrix");
+  const T base =
+      static_cast<T>((1.0 - cfg.damping) / static_cast<double>(n));
+
+  AppResult<T> res;
+  std::vector<T> pr(n, static_cast<T>(1.0 / static_cast<double>(n)));
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
+  Checkpointer<T, std::vector<T>> ckpt(engine, ck, pr);
+
+  std::vector<T> y;
+  int k = 0;
+  while (k < cfg.iter.max_iters) {
+    const int failovers_before = engine.failovers();
+    double t;
+    try {
+      t = engine.simulate(pr, y);
+    } catch (const vgpu::DeviceFault& e) {
+      k = ckpt.restart(std::string("device fault: ") + e.what(), &pr);
+      continue;
+    }
+    res.total_s += t + aux_s;  // wasted attempts still cost real time
+    res.spmv_s += t;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = base + static_cast<T>(cfg.damping) * y[i];
+      sum += static_cast<double>(y[i]);
+    }
+    // Mass guard: (1-d) + d * ||A^T PR||_1 <= 1 for a damped
+    // row-stochastic matrix, and strictly positive. Violations mean the
+    // device-resident matrix no longer matches host truth.
+    if (!all_finite(y) || sum <= 0.0 || sum > 1.0 + 1e-6) {
+      engine.scrub();  // refresh device copies from host data
+      k = ckpt.restart("stochastic-mass guard tripped", &pr);
+      continue;
+    }
+    if (engine.failovers() != failovers_before) {
+      // The SpMV overlapped a whole-device loss; the driver failed over
+      // and re-ran it, but the conservative protocol re-validates from
+      // the last consistent checkpoint.
+      k = ckpt.restart("spmv spanned device failover", &pr);
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = static_cast<T>(static_cast<double>(y[i]) / sum);
+    res.iterations = k + 1;
+    const double dist = euclidean_distance(y, pr);
+    pr.swap(y);
+    if (dist < cfg.iter.epsilon) {
+      res.converged = true;
+      break;
+    }
+    ckpt.maybe_checkpoint(k, pr);
+    ++k;
   }
   res.scores = std::move(pr);
   return res;

@@ -52,4 +52,46 @@ inline double aux_kernels_seconds(const vgpu::Device& dev, std::size_t bytes,
              (s.dram_bandwidth_gbs * 1e9 * s.dram_efficiency);
 }
 
+/// Plain power method: dominant eigenvector of the engine's matrix via
+/// v <- A v / ||A v||_2, converged on the Euclidean distance between
+/// successive normalised iterates (the same criterion PageRank/HITS use).
+/// The checkpointed/resilient variant lives in apps/checkpoint.hpp.
+template <class T>
+AppResult<T> power_method(spmv::SpmvEngine<T>& engine,
+                          const PowerIterConfig& cfg = {}) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(),
+                 "power method needs a square matrix");
+  AppResult<T> res;
+  std::vector<T> v(n, n == 0 ? T{0}
+                             : static_cast<T>(1.0 / std::sqrt(
+                                                  static_cast<double>(n))));
+  const double spmv_s = engine.spmv_seconds();
+  // Per iteration: SpMV, then the norm reduction + scale (2 passes over
+  // ~3n values) and the distance reduction.
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
+  std::vector<T> y;
+  for (int k = 0; k < cfg.max_iters; ++k) {
+    engine.apply(v, y);
+    double norm = 0.0;
+    for (const T& x : y)
+      norm += static_cast<double>(x) * static_cast<double>(x);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;  // matrix annihilated the iterate
+    for (auto& x : y) x = static_cast<T>(static_cast<double>(x) / norm);
+    res.iterations = k + 1;
+    res.total_s += spmv_s + aux_s;
+    res.spmv_s += spmv_s;
+    const double dist = euclidean_distance(y, v);
+    v.swap(y);
+    if (dist < cfg.epsilon) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.scores = std::move(v);
+  return res;
+}
+
 }  // namespace acsr::apps

@@ -5,9 +5,16 @@
 // of work. Each device holds a replica of the CSR arrays plus its own bin
 // metadata; one SpMV runs the per-device launch sequences concurrently and
 // completes at max(device times) plus an inter-device synchronisation fee.
+//
+// Resilience: when an injected whole-device-loss fault (src/vgpu/fault.hpp)
+// strikes one replica mid-SpMV, simulate() drops the dead device,
+// repartitions the bins over the survivors (a fresh replica build, charged
+// like the original one), and re-runs — the SpMV degrades instead of
+// aborting. Loss of the last device propagates as DeviceLost.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/acsr_engine.hpp"
@@ -20,41 +27,22 @@ class MultiGpuAcsr final : public spmv::EngineBase<T> {
  public:
   MultiGpuAcsr(std::vector<vgpu::Device*> devices, const mat::Csr<T>& a,
                AcsrOptions opt = {})
-      : spmv::EngineBase<T>(*devices.at(0), "ACSR-multi"), host_(a) {
-    ACSR_REQUIRE(!devices.empty(), "need at least one device");
-    const int n = static_cast<int>(devices.size());
-
-    // Bin once over the whole matrix, then deal each bin out evenly.
-    std::vector<mat::offset_t> row_nnz(static_cast<std::size_t>(a.rows));
-    for (mat::index_t r = 0; r < a.rows; ++r)
-      row_nnz[static_cast<std::size_t>(r)] = a.row_nnz(r);
-    BinningOptions bopt = opt.binning;
-    bopt.enable_dp =
-        bopt.enable_dp && devices[0]->spec().supports_dynamic_parallelism();
-    vgpu::HostModel hm;
-    const Binning full = Binning::build(row_nnz, bopt, &hm);
-
-    for (int d = 0; d < n; ++d) {
-      Binning part;
-      part.options = full.options;
-      part.bins.resize(full.bins.size());
-      for (std::size_t b = 0; b < full.bins.size(); ++b)
-        part.bins[b] = split_half(full.bins[b], d, n);
-      part.dp_rows = split_half(full.dp_rows, d, n);
-      engines_.push_back(std::make_unique<AcsrEngine<T>>(
-          *devices[static_cast<std::size_t>(d)], a, opt, std::move(part)));
-    }
-    this->report_.preprocess_s = hm.seconds();
-    for (const auto& e : engines_) {
-      this->report_.h2d_bytes += e->report().h2d_bytes;
-      this->report_.h2d_s += e->report().h2d_s;
-      this->report_.device_bytes += e->report().device_bytes;
-    }
+      : spmv::EngineBase<T>(*devices.at(0), "ACSR-multi"),
+        host_(a),
+        devices_(std::move(devices)),
+        opt_(opt) {
+    ACSR_REQUIRE(!devices_.empty(), "need at least one device");
+    build(devices_);
   }
 
   int num_devices() const { return static_cast<int>(engines_.size()); }
   const AcsrEngine<T>& engine(int d) const {
     return *engines_.at(static_cast<std::size_t>(d));
+  }
+  /// Human-readable record of repartitioning recoveries (empty when no
+  /// device was lost).
+  const std::vector<std::string>& recovery_log() const {
+    return recovery_log_;
   }
 
   mat::index_t rows() const override { return host_.rows; }
@@ -66,6 +54,80 @@ class MultiGpuAcsr final : public spmv::EngineBase<T> {
   }
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    for (;;) {
+      try {
+        // A loss recorded by the previous attempt (or one that struck a
+        // previous repartition mid-build) is repaired here, inside the
+        // try, so a further loss during the rebuild re-enters recovery.
+        if (live_of(active_).size() != active_.size()) build(live_of(active_));
+        return simulate_once(x, y);
+      } catch (const vgpu::DeviceLost& e) {
+        const std::vector<vgpu::Device*> survivors = live_of(active_);
+        // No survivor, or the loss did not strike one of ours (the set
+        // would not shrink and the retry could not make progress): give up.
+        if (survivors.empty() || survivors.size() == active_.size()) throw;
+        // The loop top repartitions (and logs) on the next pass.
+      }
+    }
+  }
+
+ private:
+  static std::vector<vgpu::Device*> live_of(
+      const std::vector<vgpu::Device*>& devs) {
+    std::vector<vgpu::Device*> live;
+    for (vgpu::Device* d : devs)
+      if (!d->lost()) live.push_back(d);
+    return live;
+  }
+
+  /// (Re)build per-device replicas over `live`. Re-running the partitioner
+  /// and the uploads is exactly what recovery costs on real hardware, so
+  /// preprocessing/transfer charges accumulate into the report.
+  void build(std::vector<vgpu::Device*> live) {
+    if (live.empty())
+      throw vgpu::DeviceLost(this->device().spec().name, "repartition",
+                             "no surviving device to repartition onto");
+    // A rebuild with a smaller live set is a loss recovery: record it
+    // (covers both losses caught mid-SpMV and losses detected between
+    // iterations at the simulate() loop top).
+    if (!engines_.empty() && live.size() != active_.size())
+      recovery_log_.push_back(
+          "device lost; repartitioning " + std::to_string(active_.size()) +
+          " -> " + std::to_string(live.size()) + " devices");
+    engines_.clear();  // free dead/old replicas before re-allocating
+    const int n = static_cast<int>(live.size());
+
+    // Bin once over the whole matrix, then deal each bin out evenly.
+    std::vector<mat::offset_t> row_nnz(static_cast<std::size_t>(host_.rows));
+    for (mat::index_t r = 0; r < host_.rows; ++r)
+      row_nnz[static_cast<std::size_t>(r)] = host_.row_nnz(r);
+    BinningOptions bopt = opt_.binning;
+    bopt.enable_dp =
+        bopt.enable_dp && live[0]->spec().supports_dynamic_parallelism();
+    vgpu::HostModel hm;
+    const Binning full = Binning::build(row_nnz, bopt, &hm);
+
+    for (int d = 0; d < n; ++d) {
+      Binning part;
+      part.options = full.options;
+      part.bins.resize(full.bins.size());
+      for (std::size_t b = 0; b < full.bins.size(); ++b)
+        part.bins[b] = split_half(full.bins[b], d, n);
+      part.dp_rows = split_half(full.dp_rows, d, n);
+      engines_.push_back(std::make_unique<AcsrEngine<T>>(
+          *live[static_cast<std::size_t>(d)], host_, opt_, std::move(part)));
+    }
+    this->report_.preprocess_s += hm.seconds();
+    this->report_.device_bytes = 0;
+    for (const auto& e : engines_) {
+      this->report_.h2d_bytes += e->report().h2d_bytes;
+      this->report_.h2d_s += e->report().h2d_s;
+      this->report_.device_bytes += e->report().device_bytes;
+    }
+    active_ = std::move(live);
+  }
+
+  double simulate_once(const std::vector<T>& x, std::vector<T>& y) {
     // Each device computes its partition into its own y replica; the
     // result vector is the union (partitions are disjoint by row). One
     // host stream per device; the SpMV completes at the joined makespan
@@ -91,7 +153,6 @@ class MultiGpuAcsr final : public spmv::EngineBase<T> {
     return t;
   }
 
- private:
   /// Device d's share: an even contiguous slice (the paper: "we simply map
   /// half of the rows in each bin to each device").
   static std::vector<mat::index_t> split_half(
@@ -107,7 +168,11 @@ class MultiGpuAcsr final : public spmv::EngineBase<T> {
   }
 
   mat::Csr<T> host_;
+  std::vector<vgpu::Device*> devices_;
+  std::vector<vgpu::Device*> active_;
+  AcsrOptions opt_;
   std::vector<std::unique_ptr<AcsrEngine<T>>> engines_;
+  std::vector<std::string> recovery_log_;
 };
 
 }  // namespace acsr::core

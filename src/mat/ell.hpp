@@ -3,10 +3,12 @@
 // (the coalescing-friendly layout the GPU kernels rely on).
 #pragma once
 
+#include <new>
 #include <vector>
 
 #include "common/check.hpp"
 #include "mat/csr.hpp"
+#include "mat/padded.hpp"
 #include "mat/types.hpp"
 #include "vgpu/host_model.hpp"
 
@@ -65,15 +67,26 @@ struct Ell {
   }
 
   /// Build the first min(row_nnz, width) entries of each row; the caller
-  /// (HYB) handles the overflow separately.
+  /// (HYB) handles the overflow separately. The padded slab size is
+  /// overflow-checked (mat/padded.hpp): a degenerate rows x width product
+  /// surfaces as DeviceOom — the resilient driver's fallback signal —
+  /// never as an InvariantError or a host allocator abort.
   static Ell from_csr_with_width(const Csr<T>& a, index_t width,
                                  vgpu::HostModel* hm = nullptr) {
     Ell e;
     e.rows = a.rows;
     e.cols = a.cols;
     e.width = width;
-    e.col_idx.assign(e.slots(), kPad);
-    e.vals.assign(e.slots(), T{0});
+    const std::size_t slots = checked_padded_slots(
+        static_cast<std::uint64_t>(a.rows), static_cast<std::uint64_t>(width),
+        sizeof(index_t) + sizeof(T), "ELL slab");
+    try {
+      e.col_idx.assign(slots, kPad);
+      e.vals.assign(slots, T{0});
+    } catch (const std::bad_alloc&) {
+      throw vgpu::DeviceOom("host allocator refused the ELL slab (" +
+                            std::to_string(slots) + " slots)");
+    }
     for (index_t r = 0; r < a.rows; ++r) {
       const offset_t base = a.row_off[static_cast<std::size_t>(r)];
       const offset_t n = std::min<offset_t>(a.row_nnz(r), width);

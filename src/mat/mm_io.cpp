@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -17,35 +19,69 @@ std::string lower(std::string s) {
   return s;
 }
 
+bool blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c); });
+}
+
 }  // namespace
 
+// Hardened reader: every parse error carries the 1-based line number, every
+// numeric field is checked to extract cleanly (a malformed value used to
+// silently default to 1.0 — a data corruption, not a parse error), entry
+// lines must not carry trailing tokens, and non-finite values (NaN/Inf,
+// including overflowed literals like 1e999) are rejected — they would
+// propagate through every SpMV and poison the iterative apps' convergence
+// checks.
 Coo<double> read_matrix_market(std::istream& in) {
+  long long lineno = 0;
   std::string line;
-  ACSR_REQUIRE(std::getline(in, line), "empty Matrix Market stream");
+  auto next_line = [&in, &lineno, &line]() {
+    if (!std::getline(in, line)) return false;
+    ++lineno;
+    return true;
+  };
 
+  ACSR_REQUIRE(next_line(), "empty Matrix Market stream");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  ACSR_REQUIRE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
-  ACSR_REQUIRE(lower(object) == "matrix", "unsupported object: " << object);
+  ACSR_REQUIRE(banner == "%%MatrixMarket",
+               "line 1: missing %%MatrixMarket banner");
+  ACSR_REQUIRE(lower(object) == "matrix",
+               "line 1: unsupported object: " << object);
   ACSR_REQUIRE(lower(format) == "coordinate",
-               "only coordinate format supported, got " << format);
+               "line 1: only coordinate format supported, got " << format);
   field = lower(field);
   symmetry = lower(symmetry);
   ACSR_REQUIRE(field == "real" || field == "integer" || field == "pattern",
-               "unsupported field type: " << field);
+               "line 1: unsupported field type: " << field);
   ACSR_REQUIRE(symmetry == "general" || symmetry == "symmetric",
-               "unsupported symmetry: " << symmetry);
+               "line 1: unsupported symmetry: " << symmetry);
 
-  // Skip comment lines.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  // Skip comment and blank lines up to the dimensions line.
+  bool have_dims = false;
+  while (next_line()) {
+    if (line.empty() || line[0] == '%' || blank(line)) continue;
+    have_dims = true;
+    break;
   }
+  ACSR_REQUIRE(have_dims, "line " << lineno << ": missing dimensions line");
   std::istringstream dims(line);
   long long rows = 0, cols = 0, entries = 0;
-  dims >> rows >> cols >> entries;
+  ACSR_REQUIRE(dims >> rows >> cols >> entries,
+               "line " << lineno << ": malformed dimensions line: " << line);
+  std::string extra;
+  ACSR_REQUIRE(!(dims >> extra), "line " << lineno
+                                         << ": trailing tokens after "
+                                            "dimensions: "
+                                         << line);
   ACSR_REQUIRE(rows > 0 && cols > 0 && entries >= 0,
-               "bad dimensions line: " << line);
+               "line " << lineno << ": bad dimensions: " << line);
+  constexpr long long kMaxDim = std::numeric_limits<index_t>::max();
+  ACSR_REQUIRE(rows <= kMaxDim && cols <= kMaxDim,
+               "line " << lineno << ": dimensions exceed 32-bit index range: "
+                       << line);
 
   Coo<double> m;
   m.rows = static_cast<index_t>(rows);
@@ -54,16 +90,31 @@ Coo<double> read_matrix_market(std::istream& in) {
             (symmetry == "symmetric" ? 2 : 1));
 
   for (long long e = 0; e < entries; ++e) {
-    ACSR_REQUIRE(std::getline(in, line),
-                 "truncated file: expected " << entries << " entries, got "
-                                             << e);
+    ACSR_REQUIRE(next_line(), "line " << lineno << ": truncated file: expected "
+                                      << entries << " entries, got " << e);
+    if (line.empty() || line[0] == '%' || blank(line)) {
+      --e;  // comment/blank lines between entries don't count
+      continue;
+    }
     std::istringstream es(line);
     long long r = 0, c = 0;
     double v = 1.0;
-    es >> r >> c;
-    if (field != "pattern") es >> v;
+    ACSR_REQUIRE(es >> r, "line " << lineno << ": malformed row index: "
+                                  << line);
+    ACSR_REQUIRE(es >> c, "line " << lineno << ": malformed column index: "
+                                  << line);
+    if (field != "pattern") {
+      ACSR_REQUIRE(es >> v,
+                   "line " << lineno << ": malformed value: " << line);
+      ACSR_REQUIRE(std::isfinite(v), "line " << lineno
+                                             << ": non-finite value: "
+                                             << line);
+    }
+    ACSR_REQUIRE(!(es >> extra), "line " << lineno
+                                         << ": trailing tokens after entry: "
+                                         << line);
     ACSR_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                 "entry out of range: " << line);
+                 "line " << lineno << ": entry out of range: " << line);
     m.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
     if (symmetry == "symmetric" && r != c)
       m.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);

@@ -1,0 +1,48 @@
+// Checked padded-size arithmetic for the slab/block formats.
+//
+// ELL, HYB and BCCOO all materialise `rows_or_blocks * width` padded slots.
+// On power-law matrices a single hub row can push that product past what
+// any allocator — host or device — could ever satisfy, and past what the
+// unchecked product can even represent. Those are *resource* failures of a
+// degenerate input, not engine bugs, so they must surface as DeviceOom
+// (which the resilient driver's fallback chain understands and degrades
+// on, docs/RESILIENCE.md) and never as InvariantError or a bad_alloc
+// abort.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "vgpu/memory.hpp"
+
+namespace acsr::mat {
+
+/// Largest padded slab any build is allowed to materialise. Far above every
+/// real device's memory (the largest simulated device has tens of GiB), so
+/// the cap only trips on degenerate padded expansions — where it turns an
+/// allocator death-spiral into a typed, recoverable error.
+inline constexpr std::uint64_t kMaxPaddedBytes = std::uint64_t{1} << 40;
+
+/// `count * width` slots of `elem_bytes` each, checked: returns the slot
+/// count, or throws DeviceOom naming `what` if the product overflows or
+/// the slab would exceed kMaxPaddedBytes.
+inline std::size_t checked_padded_slots(std::uint64_t count,
+                                        std::uint64_t width,
+                                        std::uint64_t elem_bytes,
+                                        const std::string& what) {
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t slots =
+      (width != 0 && count > kMax / width) ? kMax : count * width;
+  const std::uint64_t bytes =
+      (elem_bytes != 0 && slots > kMax / elem_bytes) ? kMax
+                                                     : slots * elem_bytes;
+  if (bytes > kMaxPaddedBytes)
+    throw vgpu::DeviceOom(
+        what + " padded size " + std::to_string(count) + " x " +
+        std::to_string(width) + " slots overflows the " +
+        std::to_string(kMaxPaddedBytes >> 30) + " GiB slab limit");
+  return static_cast<std::size_t>(slots);
+}
+
+}  // namespace acsr::mat

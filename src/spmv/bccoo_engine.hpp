@@ -9,7 +9,9 @@
 #pragma once
 
 #include <algorithm>
+#include <new>
 
+#include "mat/padded.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
 
@@ -154,7 +156,30 @@ class BccooEngine final : public EngineBase<T> {
     blk_col_.clear();
     deltas_.clear();
     vals_.clear();
+    // Worst case every entry opens its own block (no deltas fit), so the
+    // padded store is bounded by nnz * width slots; check that product
+    // up front (mat/padded.hpp) instead of letting push_back growth
+    // overflow or abort — degenerate sizes must read as DeviceOom.
+    mat::checked_padded_slots(static_cast<std::uint64_t>(a.nnz()),
+                              static_cast<std::uint64_t>(width),
+                              sizeof(T) + 1, "BCCOO block store");
     const auto w = static_cast<std::size_t>(width);
+    try {
+      pack_blocks(a, w);
+    } catch (const std::bad_alloc&) {
+      throw vgpu::DeviceOom("host allocator refused the BCCOO block store (" +
+                            std::to_string(vals_.size()) + "+ slots)");
+    }
+    hm.charge_ops(3.0 * static_cast<double>(a.nnz()) +
+                  2.0 * static_cast<double>(vals_.size()));
+    this->report_.padding_ratio =
+        vals_.empty()
+            ? 0.0
+            : 1.0 - static_cast<double>(a.nnz()) /
+                        static_cast<double>(vals_.size());
+  }
+
+  void pack_blocks(const mat::Csr<T>& a, std::size_t w) {
     for (mat::index_t r = 0; r < a.rows; ++r) {
       mat::offset_t i = a.row_off[static_cast<std::size_t>(r)];
       const mat::offset_t end = a.row_off[static_cast<std::size_t>(r) + 1];
@@ -182,13 +207,6 @@ class BccooEngine final : public EngineBase<T> {
         }
       }
     }
-    hm.charge_ops(3.0 * static_cast<double>(a.nnz()) +
-                  2.0 * static_cast<double>(vals_.size()));
-    this->report_.padding_ratio =
-        vals_.empty()
-            ? 0.0
-            : 1.0 - static_cast<double>(a.nnz()) /
-                        static_cast<double>(vals_.size());
   }
 
   void tune(const mat::Csr<T>& a, vgpu::HostModel& hm,

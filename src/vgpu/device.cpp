@@ -82,6 +82,26 @@ KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
                      cfg.block_dim <= spec_.max_threads_per_block,
                  "bad block_dim " << cfg.block_dim << " for " << cfg.name);
 
+  // Fault hook, before the sanitizer's begin_launch so a throw here cannot
+  // leave an unbalanced sanitizer epoch. Counts only host-side launches:
+  // dynamic-parallelism children below are part of this one logical launch.
+  if (fault_injection_enabled()) [[unlikely]] {
+    if (lost_) fail_lost("launch of '" + cfg.name + "'");
+    const LaunchFault f =
+        FaultInjector::instance().on_launch(spec_.name, cfg.name, &arena_);
+    switch (f.action) {
+      case LaunchFault::Action::kTransient:
+        throw TransientFault(spec_.name, cfg.name, f.detail);
+      case LaunchFault::Action::kLost:
+        lost_ = true;
+        fail_lost("launch of '" + cfg.name + "'");
+      case LaunchFault::Action::kCorruption:
+        throw DataCorruption(spec_.name, f.buffer, f.detail);
+      case LaunchFault::Action::kNone:
+        break;  // no fault, or a silent bit flip already applied
+    }
+  }
+
   KernelEnv env;
   env.spec = &spec_;
   env.group_l2 = group_l2;

@@ -21,10 +21,19 @@ struct TransferRun {
 class Device {
  public:
   explicit Device(DeviceSpec spec)
-      : spec_(std::move(spec)), arena_(spec_.global_mem_bytes) {}
+      : spec_(std::move(spec)), arena_(spec_.global_mem_bytes) {
+    arena_.set_owner(spec_.name);
+  }
 
   const DeviceSpec& spec() const { return spec_; }
   MemoryArena& arena() { return arena_; }
+
+  /// True once an injected whole-device-loss fault has struck: every
+  /// further launch/alloc/transfer throws DeviceLost. Only the fault
+  /// injector can set this, so the flag is dead weight (one never-taken
+  /// branch behind fault_injection_enabled()) in normal runs.
+  bool lost() const { return lost_; }
+  void mark_lost() { lost_ = true; }
 
   /// Override the capacity (used by benches to scale the memory limit along
   /// with the 1/N corpus scaling so the paper's OOM entries reproduce).
@@ -32,6 +41,8 @@ class Device {
 
   template <class T>
   DeviceBuffer<T> alloc(std::size_t n, std::string name) {
+    if (fault_injection_enabled() && lost_) [[unlikely]]
+      fail_lost("alloc of '" + name + "'");
     return DeviceBuffer<T>(arena_, n, std::move(name));
   }
 
@@ -51,6 +62,23 @@ class Device {
     t.bytes = bytes;
     t.duration_s = spec_.transfer_setup_s +
                    static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbs * 1e9);
+    if (fault_injection_enabled()) [[unlikely]] {
+      if (lost_) fail_lost(std::to_string(bytes) + " B transfer");
+      const TransferFault f = FaultInjector::instance().on_transfer(
+          spec_.name, bytes, &arena_);
+      t.duration_s += f.stall_s;  // stall: timing-only, still completes
+      if (f.lost) {
+        lost_ = true;
+        transfer_seconds_ += t.duration_s;
+        transfer_bytes_ += bytes;
+        fail_lost(std::to_string(bytes) + " B transfer");
+      }
+      if (f.corrupt) {
+        transfer_seconds_ += t.duration_s;
+        transfer_bytes_ += bytes;
+        throw DataCorruption(spec_.name, f.buffer, f.detail);
+      }
+    }
     transfer_seconds_ += t.duration_s;
     transfer_bytes_ += bytes;
     return t;
@@ -88,10 +116,17 @@ class Device {
   }
 
  private:
+  [[noreturn]] void fail_lost(const std::string& where) const {
+    throw DeviceLost(spec_.name, where,
+                     "device '" + spec_.name + "' lost (during " + where +
+                         ")");
+  }
+
   DeviceSpec spec_;
   MemoryArena arena_;
   double transfer_seconds_ = 0.0;
   std::uint64_t transfer_bytes_ = 0;
+  bool lost_ = false;
 };
 
 /// Kernels issued on independent streams that execute concurrently on one

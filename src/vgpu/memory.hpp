@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/sanitizer.hpp"
 
 namespace acsr::vgpu {
@@ -117,6 +118,12 @@ class MemoryArena {
 
   std::uint64_t allocate(std::size_t bytes, const std::string& what) {
     const std::size_t aligned = (bytes + 255) & ~std::size_t{255};
+    if (fault_injection_enabled() &&
+        FaultInjector::instance().on_alloc(owner_, what, bytes)) [[unlikely]] {
+      throw DeviceOom("injected device out of memory allocating " +
+                      std::to_string(bytes) + " B for '" + what +
+                      "' on device '" + owner_ + "'");
+    }
     if (allocated_ + aligned > capacity_) {
       throw DeviceOom("device out of memory allocating " +
                       std::to_string(bytes) + " B for '" + what +
@@ -154,6 +161,11 @@ class MemoryArena {
   std::size_t capacity() const { return capacity_; }
   void set_capacity(std::size_t bytes) { capacity_ = bytes; }
 
+  /// Name of the owning device, used for fault-event attribution. Bare
+  /// arenas (tests) keep the "?" default; Device sets its spec name.
+  void set_owner(std::string name) { owner_ = std::move(name); }
+  const std::string& owner() const { return owner_; }
+
  private:
   // Start away from zero so address 0 never aliases a real buffer, and
   // 16 TiB apart per arena so addresses are process-unique.
@@ -165,6 +177,7 @@ class MemoryArena {
   std::size_t capacity_;
   std::size_t allocated_ = 0;
   std::uint64_t next_addr_;
+  std::string owner_ = "?";
 };
 
 /// Owning device allocation. Movable, not copyable (R.20-style ownership).
@@ -177,7 +190,17 @@ class DeviceBuffer {
       : arena_(&arena),
         name_(std::move(name)),
         addr_(arena.allocate(n * sizeof(T), name_)),
-        data_(n) {}
+        data_(n) {
+    // Register the backing bytes as an ECC/corruption flip target. The
+    // fault_registered_ flag — not the global — gates unregistration, so a
+    // buffer outliving a FaultInjector::disable() still cleans up and a
+    // buffer created while disabled never leaves a dangling registry entry.
+    if (fault_injection_enabled() && !data_.empty()) {
+      FaultInjector::instance().register_buffer(addr_, data_.data(), bytes(),
+                                                name_, arena_);
+      fault_registered_ = true;
+    }
+  }
 
   DeviceBuffer(const DeviceBuffer&) = delete;
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
@@ -189,8 +212,11 @@ class DeviceBuffer {
       arena_ = o.arena_;
       name_ = std::move(o.name_);
       addr_ = o.addr_;
-      data_ = std::move(o.data_);
+      data_ = std::move(o.data_);  // heap block moves with it: the registered
+                                   // data pointer stays valid
+      fault_registered_ = o.fault_registered_;
       o.arena_ = nullptr;
+      o.fault_registered_ = false;
     }
     return *this;
   }
@@ -222,6 +248,10 @@ class DeviceBuffer {
  private:
   void release() {
     if (arena_ != nullptr) {
+      if (fault_registered_) {
+        FaultInjector::instance().unregister_buffer(addr_);
+        fault_registered_ = false;
+      }
       arena_->release(addr_, data_.size() * sizeof(T), name_);
       arena_ = nullptr;
     }
@@ -231,6 +261,7 @@ class DeviceBuffer {
   std::string name_;
   std::uint64_t addr_ = 0;
   std::vector<T> data_;
+  bool fault_registered_ = false;
 };
 
 }  // namespace acsr::vgpu

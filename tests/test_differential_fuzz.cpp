@@ -14,11 +14,19 @@
 // Reproducibility: every matrix derives from ACSR_FUZZ_SEED (default 2014)
 // through split streams, so a failure report's (seed, index) pair replays
 // exactly. ACSR_FUZZ_MATRICES overrides the matrix count (default 200).
+//
+// A second mode fuzzes the *fault plane* (docs/RESILIENCE.md): random
+// ACSR_FAULTS plans thrown at ResilientEngine must end in exactly one of
+// two legal outcomes — a recovered result bit-identical to a clean run of
+// the surviving format, or a typed recoverable error with device
+// attribution. Never a crash, never a silent wrong answer.
+// ACSR_FAULT_FUZZ overrides the plan count (default 200).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <vector>
@@ -26,9 +34,11 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/factory.hpp"
+#include "core/resilient.hpp"
 #include "graph/powerlaw.hpp"
 #include "graph/rmat.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/sanitizer.hpp"
 
 namespace {
@@ -313,6 +323,105 @@ TEST(DifferentialFuzz, AllEnginesMatchOracleUnderSanitizer) {
   std::cout << "[fuzz] " << n_matrices << " matrices, " << total_nnz
             << " total nnz, " << stats.engine_runs << " engine runs, "
             << stats.format_skips << " format skips (seed " << seed << ")\n";
+}
+
+// Fault-plane fuzz: random injection plans (detectable kinds only — the
+// silent=1 knob is the sanitizer-escape hatch, tested separately) against
+// ResilientEngine with a standby device. Legal outcomes per case:
+//
+//   1. the driver recovers and the result is bitwise equal to a clean
+//      simulate() of whatever format survived, on a fresh same-spec
+//      device with injection off, or
+//   2. a typed DeviceFault/DeviceOom escapes, carrying attribution.
+//
+// Anything else — a crash, a bare InvariantError, a silently wrong
+// vector — is a bug in the recovery ladder.
+TEST(DifferentialFuzz, RandomFaultPlansRecoverOrFailTyped) {
+  const std::uint64_t seed = env_u64("ACSR_FUZZ_SEED", 2014);
+  const std::size_t n_cases =
+      static_cast<std::size_t>(env_u64("ACSR_FAULT_FUZZ", 200));
+  using acsr::core::ResilientEngine;
+  using acsr::vgpu::FaultInjector;
+
+  static const char* const kClauses[] = {
+      "oom@alloc",        "transient@launch", "ecc@launch", "corrupt@transfer",
+      "stall@transfer",   "lost@launch",      "lost@transfer"};
+  static const char* const kPreferred[] = {
+      "csr-scalar", "csr", "ell", "hyb", "bccoo", "acsr", "acsr-binning"};
+
+  const Rng root(seed ^ 0xfa0175);
+  std::size_t recovered = 0;
+  std::size_t typed_escapes = 0;
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    Rng rng = root.split(i + 1);
+    acsr::graph::PowerLawSpec s;
+    s.rows = 8 + static_cast<index_t>(rng.next_below(120));
+    s.cols = s.rows;
+    s.mean_nnz_per_row = rng.next_double(1.0, 8.0);
+    s.alpha = 1.6;
+    s.max_row_nnz = std::max<offset_t>(1, s.rows / 2);
+    s.seed = rng.next_u64();
+    Csr<double> a = acsr::graph::powerlaw_matrix(s);
+    for (auto& v : a.vals) v = rng.next_double(0.5, 1.5);
+
+    std::string plan;
+    const int n_clauses = 1 + static_cast<int>(rng.next_below(3));
+    for (int c = 0; c < n_clauses; ++c) {
+      if (c > 0) plan += ';';
+      plan += kClauses[rng.next_below(std::size(kClauses))];
+      plan += '#' + std::to_string(1 + rng.next_below(12));
+      if (rng.next_bool(0.3)) plan += "*2";
+      if (rng.next_bool(0.5))
+        plan += ":seed=" + std::to_string(1 + rng.next_below(1000));
+    }
+    const std::string preferred =
+        kPreferred[rng.next_below(std::size(kPreferred))];
+    SCOPED_TRACE("case #" + std::to_string(i) + " plan '" + plan +
+                 "' preferred " + preferred + " seed " + std::to_string(seed));
+
+    std::vector<double> x(static_cast<std::size_t>(a.cols));
+    for (auto& v : x) v = rng.next_double(0.5, 1.5);
+
+    FaultInjector::instance().configure(plan);
+    Device d0(DeviceSpec::gtx_titan());
+    Device d1(DeviceSpec::gtx_titan());
+    std::vector<double> y;
+    std::string format;
+    bool ok = false;
+    try {
+      ResilientEngine<double> engine({&d0, &d1}, a, preferred);
+      engine.simulate(x, y);
+      format = engine.active_format();
+      ok = true;
+    } catch (const acsr::vgpu::DeviceFault& e) {
+      // Legal escalation (e.g. both devices lost): typed + attributed.
+      EXPECT_FALSE(std::string(e.what()).empty());
+      EXPECT_FALSE(e.device().empty());
+      ++typed_escapes;
+    } catch (const acsr::vgpu::DeviceOom& e) {
+      // Fallback-chain exhaustion under persistent alloc failure.
+      EXPECT_FALSE(std::string(e.what()).empty());
+      ++typed_escapes;
+    }
+    FaultInjector::instance().disable();
+
+    if (ok) {
+      Device clean(DeviceSpec::gtx_titan());
+      const auto oracle = make_engine<double>(format, clean, a, EngineConfig{});
+      std::vector<double> want;
+      oracle->simulate(x, want);
+      EXPECT_EQ(y, want) << "recovered result diverges from a clean run of '"
+                         << format << "'";
+      ++recovered;
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  FaultInjector::instance().disable();
+
+  EXPECT_GT(recovered, 0u);  // the plans must not all be fatal
+  std::cout << "[fault-fuzz] " << n_cases << " plans, " << recovered
+            << " recovered bit-correct, " << typed_escapes
+            << " typed escapes (seed " << seed << ")\n";
 }
 
 }  // namespace

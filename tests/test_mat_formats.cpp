@@ -354,6 +354,46 @@ TEST(MatrixMarket, RejectsGarbage) {
   EXPECT_THROW(read_matrix_market(trunc), acsr::InputError);
 }
 
+TEST(MatrixMarket, RejectsNonFiniteValues) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                         "2 2 1\n1 1 " +
+                         std::string(bad) + "\n");
+    EXPECT_THROW(read_matrix_market(ss), acsr::InputError) << bad;
+  }
+}
+
+TEST(MatrixMarket, RejectsMalformedNumericFields) {
+  // A malformed value must be a parse error, not a silent default.
+  std::stringstream v("%%MatrixMarket matrix coordinate real general\n"
+                      "2 2 1\n1 1 x\n");
+  EXPECT_THROW(read_matrix_market(v), acsr::InputError);
+  std::stringstream c("%%MatrixMarket matrix coordinate real general\n"
+                      "2 2 1\n1 oops 3.5\n");
+  EXPECT_THROW(read_matrix_market(c), acsr::InputError);
+  std::stringstream t("%%MatrixMarket matrix coordinate real general\n"
+                      "2 2 1\n1 1 3.5 extra\n");
+  EXPECT_THROW(read_matrix_market(t), acsr::InputError);
+  std::stringstream d("%%MatrixMarket matrix coordinate real general\n"
+                      "2 oops 1\n1 1 3.5\n");
+  EXPECT_THROW(read_matrix_market(d), acsr::InputError);
+}
+
+TEST(MatrixMarket, ParseErrorsCarryLineNumbers) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                       "% padding comment\n"
+                       "2 2 2\n"
+                       "1 1 1.5\n"
+                       "2 2 bogus\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected InputError";
+  } catch (const acsr::InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(HitsMatrix, CombinedStructure) {
   Coo<double> c;
   c.rows = 3;
