@@ -55,10 +55,6 @@ void bcsr_fill_in(const bench::BenchContext& ctx) {
   for (const std::string ab : {"AMZ", "EU2", "YOT", "WIK"}) {
     const auto& e = graph::corpus_entry(ab);
     const auto m = ctx.build<float>(e);
-    core::EngineConfig cfg2 = ctx.engine_cfg;
-    cfg2.bcsr_block = 2;
-    core::EngineConfig cfg4 = ctx.engine_cfg;
-    cfg4.bcsr_block = 4;
     vgpu::Device d2(ctx.spec), d4(ctx.spec), da(ctx.spec);
     auto b2 = std::make_unique<spmv::BcsrEngine<float>>(d2, m, 2);
     auto b4 = std::make_unique<spmv::BcsrEngine<float>>(d4, m, 4);

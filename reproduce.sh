@@ -5,9 +5,10 @@
 # (one file per bench), and runs each example. Set ACSR_SCALE to change
 # the corpus reduction factor (default 64; smaller = bigger matrices).
 #
-# --quick: build + tier-1 tests + the fixed-seed differential fuzz
-# harness + the fault-injection label only (the CI gate; see
-# docs/TESTING.md). No benches/examples.
+# --quick: build + tier-1 tests + the static-verifier label
+# (docs/ANALYSIS.md) + the fixed-seed differential fuzz harness + the
+# fault-injection label only (the CI gate; see docs/TESTING.md). No
+# benches/examples.
 #
 # Every stage's exit code is checked explicitly (on top of `set -e` /
 # `pipefail`): a red test suite, a crashed bench, or a failed example
@@ -49,6 +50,9 @@ if [ "$quick" = 1 ]; then
   echo "== tier-1 tests"
   run_stage "tier-1 tests" "$out/tests_tier1.txt" \
     ctest --test-dir build -L tier1
+  echo "== static analysis suite (docs/ANALYSIS.md)"
+  run_stage "static analysis suite" "$out/tests_analysis.txt" \
+    ctest --test-dir build -L analysis
   echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014})"
   run_stage "differential fuzz" "$out/tests_fuzz.txt" \
     ctest --test-dir build -L fuzz

@@ -15,14 +15,33 @@ cd "$(dirname "$0")/.."
 build="${1:-build}"
 
 echo "== configure"
+# CI (ACSR_CI=1) promotes warnings to errors; local runs stay permissive.
+werror=()
+if [ "${ACSR_CI:-0}" = "1" ]; then werror=(-DACSR_WERROR=ON); fi
 if [ -f "$build/CMakeCache.txt" ]; then
-  cmake -B "$build"  # reuse whatever generator the cache was made with
+  cmake -B "$build" "${werror[@]}"  # reuse the cached generator
 else
-  cmake -B "$build" -G Ninja
+  cmake -B "$build" -G Ninja "${werror[@]}"
 fi
 
 echo "== build"
 cmake --build "$build"
+
+echo "== analysis (scripts/lint.sh + acsr_verify --all)"
+scripts/lint.sh
+"$build/tools/acsr_verify" --all
+
+echo "== clang-tidy (non-fatal unless ACSR_CI=1)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_files=$(git ls-files 'src/*.cpp' 'tools/*.cpp')
+  if [ "${ACSR_CI:-0}" = "1" ]; then
+    clang-tidy -p "$build" $tidy_files
+  else
+    clang-tidy -p "$build" $tidy_files || true
+  fi
+else
+  echo "   clang-tidy not installed; skipping"
+fi
 
 echo "== tier-1 tests (ctest -L tier1)"
 tier1_start=$SECONDS

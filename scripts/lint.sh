@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Repo lint gate (run by scripts/check.sh as part of the analysis stage).
+# Three rules the static verifier's soundness story leans on:
+#
+#   1. Every header under src/ carries #pragma once.
+#   2. No raw .data() escapes outside the two files allowed to flatten a
+#      span to a pointer (src/vgpu/memory.hpp defines spans; warp.hpp's
+#      metered fast paths are the audited exception). Everything else must
+#      go through the bounds-checked span interface the verifier models.
+#   3. Counters parity: every field of vgpu::Counters is both merged in
+#      counters.hpp (declaration + operator+=) and actually metered
+#      somewhere in the engine (warp.hpp / device.cpp / kernel.cpp), so
+#      the executor fast path and the reference path cannot silently
+#      diverge on a field.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- rule 1: #pragma once in every header -----------------------------------
+while IFS= read -r h; do
+  if ! grep -q '^#pragma once' "$h"; then
+    echo "lint: missing '#pragma once': $h"
+    fail=1
+  fi
+done < <(find src -name '*.hpp')
+
+# --- rule 2: .data() only in the span layer ----------------------------------
+while IFS= read -r line; do
+  f=${line%%:*}
+  case "$f" in
+    src/vgpu/memory.hpp|src/vgpu/warp.hpp) ;;
+    *)
+      echo "lint: raw .data() outside the span layer: $line"
+      fail=1
+      ;;
+  esac
+done < <(grep -rn '\.data()' src --include='*.hpp' --include='*.cpp')
+
+# --- rule 3: Counters parity --------------------------------------------------
+fields=$(sed -n 's/^ *std::uint64_t \([a-z_][a-z_0-9]*\) = 0;.*/\1/p' \
+  src/vgpu/counters.hpp)
+if [ -z "$fields" ]; then
+  echo "lint: could not parse any Counters fields from src/vgpu/counters.hpp"
+  fail=1
+fi
+for f in $fields; do
+  in_hpp=$(grep -c "\b$f\b" src/vgpu/counters.hpp)
+  if [ "$in_hpp" -lt 2 ]; then
+    echo "lint: Counters::$f declared but not merged in counters.hpp" \
+         "(operator+= missing it?)"
+    fail=1
+  fi
+  metered=$(cat src/vgpu/warp.hpp src/vgpu/device.cpp src/vgpu/kernel.cpp |
+    grep -c "\b$f\b")
+  if [ "$metered" -lt 1 ]; then
+    echo "lint: Counters::$f is never metered" \
+         "(warp.hpp / device.cpp / kernel.cpp)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: all checks passed"
+fi
+exit "$fail"

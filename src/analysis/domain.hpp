@@ -1,0 +1,306 @@
+// Abstract value domain for the static kernel verifier (docs/ANALYSIS.md).
+//
+// The verifier re-executes kernel access patterns over *symbolic* shape
+// parameters (n_rows, nnz, padded widths, ...) instead of concrete lanes.
+// Its value domain is "interval + affine stride":
+//
+//   Sym      a polynomial with integer coefficients over named shape
+//            parameters — the symbolic counterpart of a `long long` index.
+//            Subtraction cancels like monomials, which is where the
+//            relational power comes from: `(width*n_rows - 1) <= size` is
+//            decided exactly when size is declared as `width*n_rows`,
+//            with no bounds on either parameter needed.
+//   AbsInt   an inclusive interval [lo, hi] with Sym endpoints.
+//   AbsLanes the abstract value of one warp register across every thread
+//            of a launch: an interval, an optional affine stride (the
+//            shape the executor's fast path detects dynamically —
+//            lane_array.hpp's affine_prefix), and a distinctness bit used
+//            by the race check.
+//
+// All shape parameters are non-negative integers; ParamEnv evaluates a
+// Sym's range by interval arithmetic over the declared parameter bounds.
+// Every comparison is conservative: "unknown" never proves safety.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "vgpu/lane_array.hpp"
+
+namespace acsr::analysis {
+
+/// A monomial: product of parameter names, sorted, with repetition for
+/// powers. The empty monomial is the constant term.
+using Monomial = std::vector<std::string>;
+
+/// Integer-coefficient polynomial over shape parameters.
+class Sym {
+ public:
+  Sym() = default;
+  Sym(long long k) {  // NOLINT(google-explicit-constructor)
+    if (k != 0) t_[Monomial{}] = k;
+  }
+  Sym(int k) : Sym(static_cast<long long>(k)) {}  // NOLINT
+
+  static Sym param(const std::string& name) {
+    Sym s;
+    s.t_[Monomial{name}] = 1;
+    return s;
+  }
+
+  bool is_zero() const { return t_.empty(); }
+  bool is_constant() const {
+    return t_.empty() || (t_.size() == 1 && t_.begin()->first.empty());
+  }
+  long long constant_term() const {
+    auto it = t_.find(Monomial{});
+    return it == t_.end() ? 0 : it->second;
+  }
+
+  const std::map<Monomial, long long>& terms() const { return t_; }
+
+  friend Sym operator+(Sym a, const Sym& b) {
+    for (const auto& [m, c] : b.t_) a.add(m, c);
+    return a;
+  }
+  friend Sym operator-(Sym a, const Sym& b) {
+    for (const auto& [m, c] : b.t_) a.add(m, -c);
+    return a;
+  }
+  friend Sym operator*(const Sym& a, const Sym& b) {
+    Sym r;
+    for (const auto& [ma, ca] : a.t_)
+      for (const auto& [mb, cb] : b.t_) {
+        Monomial m = ma;
+        m.insert(m.end(), mb.begin(), mb.end());
+        std::sort(m.begin(), m.end());
+        r.add(m, ca * cb);
+      }
+    return r;
+  }
+  Sym operator-() const {
+    Sym r;
+    for (const auto& [m, c] : t_) r.t_[m] = -c;
+    return r;
+  }
+  friend bool operator==(const Sym& a, const Sym& b) { return a.t_ == b.t_; }
+
+  /// Human-readable form for violation attribution, e.g. "width*n_rows - 1".
+  std::string str() const {
+    if (t_.empty()) return "0";
+    std::ostringstream os;
+    bool head = true;
+    for (const auto& [m, c] : t_) {
+      long long k = c;
+      if (head) {
+        if (k < 0) {
+          os << "-";
+          k = -k;
+        }
+      } else {
+        os << (k < 0 ? " - " : " + ");
+        k = k < 0 ? -k : k;
+      }
+      head = false;
+      if (m.empty()) {
+        os << k;
+        continue;
+      }
+      if (k != 1) os << k << "*";
+      for (std::size_t i = 0; i < m.size(); ++i)
+        os << (i != 0 ? "*" : "") << m[i];
+    }
+    return os.str();
+  }
+
+ private:
+  void add(const Monomial& m, long long c) {
+    if (c == 0) return;
+    auto [it, fresh] = t_.emplace(m, 0);
+    (void)fresh;
+    it->second += c;
+    if (it->second == 0) t_.erase(it);
+  }
+
+  std::map<Monomial, long long> t_;
+};
+
+/// Declared range of one shape parameter. Parameters are non-negative;
+/// hi == nullopt means unbounded above (the usual case for n, nnz).
+struct ParamRange {
+  long long lo = 0;
+  std::optional<long long> hi;
+};
+
+/// The shape-class context: every parameter a Sym may mention, with its
+/// declared range. Evaluates conservative bounds of polynomials.
+class ParamEnv {
+ public:
+  void declare(const std::string& name, long long lo,
+               std::optional<long long> hi = std::nullopt) {
+    ACSR_CHECK_MSG(lo >= 0, "shape parameters are non-negative: '"
+                                << name << "' declared with lo " << lo);
+    if (hi) ACSR_CHECK_MSG(*hi >= lo, "empty range for parameter " << name);
+    params_[name] = ParamRange{lo, hi};
+  }
+
+  bool knows(const std::string& name) const {
+    return params_.find(name) != params_.end();
+  }
+
+  const ParamRange& range_of(const std::string& name) const {
+    auto it = params_.find(name);
+    ACSR_CHECK_MSG(it != params_.end(),
+                   "verifier model references undeclared shape parameter '"
+                       << name << "'");
+    return it->second;
+  }
+
+  /// Largest provable lower bound of s (nullopt: unbounded below).
+  std::optional<long long> lower_bound(const Sym& s) const {
+    return bound(s, /*lower=*/true);
+  }
+  /// Smallest provable upper bound of s (nullopt: unbounded above).
+  std::optional<long long> upper_bound(const Sym& s) const {
+    return bound(s, /*lower=*/false);
+  }
+
+  /// Conservative: true only when a <= b holds for every assignment of the
+  /// declared parameter ranges. Works by bounding b - a below, so terms
+  /// sharing a monomial cancel exactly.
+  bool definitely_le(const Sym& a, const Sym& b) const {
+    const auto lb = lower_bound(b - a);
+    return lb.has_value() && *lb >= 0;
+  }
+  bool definitely_ge(const Sym& a, long long k) const {
+    return definitely_le(Sym(k), a);
+  }
+
+ private:
+  // Range of one monomial under the declared parameter ranges. Parameters
+  // are non-negative, so the product is monotone in each factor.
+  std::pair<long long, std::optional<long long>> monomial_range(
+      const Monomial& m) const {
+    long long lo = 1;
+    std::optional<long long> hi = 1;
+    for (const std::string& name : m) {
+      const ParamRange& r = range_of(name);
+      lo *= r.lo;
+      if (hi && r.hi)
+        hi = *hi * *r.hi;
+      else
+        hi = std::nullopt;
+    }
+    return {lo, hi};
+  }
+
+  std::optional<long long> bound(const Sym& s, bool lower) const {
+    long long acc = 0;
+    for (const auto& [m, c] : s.terms()) {
+      if (m.empty()) {
+        acc += c;
+        continue;
+      }
+      const auto [mlo, mhi] = monomial_range(m);
+      // For a lower bound take c*mlo when c > 0 and c*mhi when c < 0 (and
+      // symmetrically for an upper bound); a needed-but-unbounded side
+      // makes the whole bound unknown.
+      const bool need_hi = lower == (c < 0);
+      if (need_hi) {
+        if (!mhi) return std::nullopt;
+        acc += c * *mhi;
+      } else {
+        acc += c * mlo;
+      }
+    }
+    return acc;
+  }
+
+  std::map<std::string, ParamRange> params_;
+};
+
+/// Inclusive symbolic interval [lo, hi].
+struct AbsInt {
+  Sym lo;
+  Sym hi;
+
+  AbsInt() = default;
+  AbsInt(Sym v) : lo(v), hi(std::move(v)) {}  // NOLINT
+  AbsInt(Sym l, Sym h) : lo(std::move(l)), hi(std::move(h)) {}
+
+  friend AbsInt operator+(const AbsInt& a, const AbsInt& b) {
+    return {a.lo + b.lo, a.hi + b.hi};
+  }
+  friend AbsInt operator+(const AbsInt& a, const Sym& s) {
+    return {a.lo + s, a.hi + s};
+  }
+
+  std::string str() const {
+    return "[" + lo.str() + ", " + hi.str() + "]";
+  }
+};
+
+/// One warp register abstracted across every thread of a launch.
+struct AbsLanes {
+  AbsInt range;           ///< every active lane's value lies in range
+  bool known = true;      ///< false: value not tracked (data, not indices)
+  bool distinct = false;  ///< pairwise-distinct across the *whole grid*
+  bool affine = false;    ///< within a warp: lane l = first + l*step
+  long long step = 0;     ///< affine stride (>= 0)
+
+  static AbsLanes unknown() {
+    AbsLanes v;
+    v.known = false;
+    return v;
+  }
+
+  static AbsLanes of_range(AbsInt r, bool distinct_across_grid = false) {
+    AbsLanes v;
+    v.range = std::move(r);
+    v.distinct = distinct_across_grid;
+    return v;
+  }
+
+  /// Affine warp register: lane l holds first + l*step, with `first`
+  /// itself ranging over an interval (per-warp base). The covered range
+  /// comes from the same affine_touch_range primitive the executor's fast
+  /// path uses, instantiated at Sym.
+  static AbsLanes affine_of(const AbsInt& first, long long step,
+                            bool distinct_across_grid) {
+    AbsLanes v;
+    v.affine = true;
+    v.step = step;
+    v.distinct = distinct_across_grid;
+    const auto [lo0, hi0] = vgpu::affine_touch_range<Sym>(
+        first.lo, Sym(step), 1);
+    const auto [lo1, hi1] = vgpu::affine_touch_range<Sym>(
+        first.hi, Sym(step), vgpu::kWarpSize);
+    (void)hi0;
+    (void)lo1;
+    v.range = AbsInt(lo0, hi1);
+    return v;
+  }
+
+  /// Keep only lanes with value < ub: tightens the upper end (sound — the
+  /// surviving lanes' values satisfy both the old and the new bound) and
+  /// preserves distinctness/affinity (a guard selects a subset of lanes).
+  AbsLanes guard_below(const Sym& ub) const {
+    AbsLanes v = *this;
+    v.range.hi = ub - Sym(1);
+    return v;
+  }
+  /// Keep only lanes with value >= lb.
+  AbsLanes guard_at_least(const Sym& lb) const {
+    AbsLanes v = *this;
+    v.range.lo = lb;
+    return v;
+  }
+};
+
+}  // namespace acsr::analysis

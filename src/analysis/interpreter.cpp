@@ -1,0 +1,310 @@
+#include "analysis/interpreter.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace acsr::analysis {
+
+const char* violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kOutOfBounds: return "out-of-bounds";
+    case ViolationKind::kUninitRead: return "uninitialized-read";
+    case ViolationKind::kWriteRace: return "write-race";
+    case ViolationKind::kDivergentSync: return "divergent-sync";
+    case ViolationKind::kBadLaunchConfig: return "bad-launch-config";
+    case ViolationKind::kSharedMemOverflow: return "shared-mem-overflow";
+    case ViolationKind::kDynamicParallelism: return "dynamic-parallelism";
+    case ViolationKind::kPendingLaunchOverflow: return "pending-launch-cap";
+  }
+  return "?";
+}
+
+std::string Violation::str() const {
+  std::ostringstream os;
+  os << violation_kind_name(kind) << " in kernel '" << kernel << "' ("
+     << engine << " on " << device << "): " << expr;
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+void Verifier::declare_shape(const ShapeClass& sc) {
+  for (const ParamDecl& p : sc.params) declare_param(p);
+  for (const SpanDecl& s : sc.spans) declare_span(s);
+}
+
+void Verifier::declare_span(const SpanDecl& d) {
+  ACSR_CHECK_MSG(spans_.find(d.name) == spans_.end(),
+                 "duplicate span declaration '" << d.name << "'");
+  AbsSpan s;
+  s.name = d.name;
+  s.size = d.size;
+  s.content = d.content;
+  s.content_known = d.content_known;
+  s.monotone = d.monotone;
+  s.injective = d.injective;
+  s.initialized = d.initialized;
+  spans_.emplace(d.name, std::move(s));
+}
+
+Sym Verifier::p(const std::string& name) const {
+  ACSR_CHECK_MSG(env_.knows(name),
+                 "model references undeclared parameter '" << name << "'");
+  return Sym::param(name);
+}
+
+AbsSpan& Verifier::span(const std::string& name) {
+  auto it = spans_.find(name);
+  ACSR_CHECK_MSG(it != spans_.end(),
+                 "model references undeclared span '" << name << "'");
+  return it->second;
+}
+
+void Verifier::report(ViolationKind kind, const std::string& expr,
+                      const std::string& detail) {
+  violations_.push_back(
+      Violation{kind, engine_, spec_.name, kernel_, expr, detail});
+}
+
+void Verifier::check_launch_config(const std::string& kernel, const Sym& grid,
+                                   int block_dim, const char* what) {
+  if (block_dim < 1 || block_dim > spec_.max_threads_per_block) {
+    std::ostringstream os;
+    os << what << " block_dim " << block_dim << " outside [1, "
+       << spec_.max_threads_per_block << "]";
+    report(ViolationKind::kBadLaunchConfig, kernel, os.str());
+  }
+  if (!env_.definitely_ge(grid, 1)) {
+    report(ViolationKind::kBadLaunchConfig, kernel,
+           std::string(what) + " grid_dim " + grid.str() +
+               " not provably >= 1 (empty grids are launch errors)");
+  }
+}
+
+void Verifier::launch(const std::string& kernel, const Sym& grid,
+                      int block_dim, const Body& body) {
+  ACSR_CHECK_MSG(!in_launch_, "nested Verifier::launch (kernel '" << kernel
+                                                                 << "')");
+  kernel_ = kernel;
+  in_launch_ = true;
+  children_launched_ = false;
+  pending_children_ = Sym(0);
+  shared_bytes_per_block_ = Sym(0);
+  shared_count_ = 0;
+  divergence_depth_ = 0;
+  for (auto& [name, s] : spans_) {
+    (void)name;
+    s.plain_stores = 0;
+    s.atomic_stores = false;
+    s.child_plain = false;
+    s.child_atomic = false;
+    s.pending_init = false;
+  }
+  shared_spans_.clear();
+
+  check_launch_config(kernel, grid, block_dim, "launch");
+
+  AbsKernel k(*this, grid, block_dim, /*is_child=*/false);
+  body(k);
+
+  // Pending-launch cap: the total number of device-side launches enqueued
+  // by this kernel must fit the device runtime's fixed-size pool.
+  if (!pending_children_.is_zero()) {
+    const auto ub = env_.upper_bound(pending_children_);
+    const long long cap = spec_.pending_launch_limit;
+    if (!ub.has_value() || *ub > cap) {
+      std::ostringstream os;
+      os << pending_children_.str() << " device-side launches vs "
+         << "cudaLimitDevRuntimePendingLaunchCount = " << cap;
+      if (ub.has_value()) os << " (worst case " << *ub << ")";
+      else os << " (unbounded)";
+      report(ViolationKind::kPendingLaunchOverflow, kernel, os.str());
+    }
+  }
+
+  // A launch boundary orders everything after it: plain-written spans are
+  // now initialized device memory for subsequent launches.
+  for (auto& [name, s] : spans_) {
+    (void)name;
+    if (s.pending_init || s.child_plain) s.initialized = true;
+  }
+  in_launch_ = false;
+  kernel_.clear();
+}
+
+bool Verifier::check_access(const AbsSpan& s, const AbsLanes& idx,
+                            const std::string& expr) {
+  if (!idx.known) {
+    report(ViolationKind::kOutOfBounds, expr,
+           "index into '" + s.name +
+               "' derived from untracked data — no bound available");
+    return false;
+  }
+  bool ok = true;
+  if (!env_.definitely_ge(idx.range.lo, 0)) {
+    report(ViolationKind::kOutOfBounds, expr,
+           "cannot prove index lower bound " + idx.range.lo.str() +
+               " >= 0 for span '" + s.name + "'");
+    ok = false;
+  }
+  if (!env_.definitely_le(idx.range.hi, s.size - Sym(1))) {
+    report(ViolationKind::kOutOfBounds, expr,
+           "cannot prove index upper bound " + idx.range.hi.str() +
+               " <= size-1 = " + (s.size - Sym(1)).str() + " for span '" +
+               s.name + "'");
+    ok = false;
+  }
+  return ok;
+}
+
+void Verifier::check_read_initialized(const AbsSpan& s,
+                                      const std::string& expr) {
+  if (!s.initialized && !s.pending_init && !s.child_plain) {
+    report(ViolationKind::kUninitRead, expr,
+           "span '" + s.name +
+               "' is read before any host fill or device store defines it");
+  }
+}
+
+AbsLanes AbsKernel::load(AbsSpan& s, const AbsLanes& idx,
+                         const std::string& expr) {
+  v_.check_access(s, idx, expr);
+  v_.check_read_initialized(s, expr);
+  if (!s.content_known) return AbsLanes::unknown();
+  // Values drawn from an injective map at pairwise-distinct indices are
+  // themselves pairwise distinct — the permutation-scatter argument the
+  // BRC/SELL/SIC y stores rely on.
+  return AbsLanes::of_range(s.content, s.injective && idx.distinct);
+}
+
+std::pair<AbsLanes, AbsLanes> AbsKernel::load_pair(AbsSpan& a, AbsSpan& b,
+                                                   const AbsLanes& idx,
+                                                   const std::string& expr) {
+  AbsLanes ra = load(a, idx, expr + " [" + a.name + "]");
+  AbsLanes rb = load(b, idx, expr + " [" + b.name + "]");
+  return {ra, rb};
+}
+
+void AbsKernel::store(AbsSpan& s, const AbsLanes& idx,
+                      const std::string& expr) {
+  v_.check_access(s, idx, expr);
+  if (!idx.distinct) {
+    v_.report(ViolationKind::kWriteRace, expr,
+              "plain store to '" + s.name +
+                  "' with indices not provably pairwise-distinct across " +
+                  (is_child_ ? "sibling child grids" : "the grid"));
+  }
+  if (is_child_) {
+    if (s.child_plain || s.child_atomic) {
+      v_.report(ViolationKind::kWriteRace, expr,
+                "sibling child grids both write '" + s.name +
+                    "' (device-side grids are concurrent)");
+    }
+    s.child_plain = true;
+    return;
+  }
+  if (s.plain_stores > 0) {
+    v_.report(ViolationKind::kWriteRace, expr,
+              "second plain-store statement to '" + s.name +
+                  "' within one launch — overlap not provable disjoint");
+  }
+  if (s.atomic_stores) {
+    v_.report(ViolationKind::kWriteRace, expr,
+              "plain store to '" + s.name +
+                  "' mixes with atomic updates in the same launch");
+  }
+  if (v_.children_launched_ && (s.child_plain || s.child_atomic)) {
+    v_.report(ViolationKind::kWriteRace, expr,
+              "parent writes '" + s.name +
+                  "' after launching children that also write it");
+  }
+  s.plain_stores += 1;
+  s.pending_init = true;
+}
+
+void AbsKernel::atomic_add(AbsSpan& s, const AbsLanes& idx,
+                           const std::string& expr) {
+  v_.check_access(s, idx, expr);
+  // An atomic RMW reads the previous value: the target must be defined
+  // (the zero-fill-before-accumulate contract).
+  v_.check_read_initialized(s, expr);
+  if (is_child_) {
+    if (s.child_plain) {
+      v_.report(ViolationKind::kWriteRace, expr,
+                "atomic update of '" + s.name +
+                    "' races a sibling child grid's plain store");
+    }
+    s.child_atomic = true;
+    return;
+  }
+  if (s.plain_stores > 0) {
+    v_.report(ViolationKind::kWriteRace, expr,
+              "atomic update of '" + s.name +
+                  "' mixes with plain stores in the same launch");
+  }
+  s.atomic_stores = true;
+}
+
+AbsSpan& AbsKernel::shared_alloc(const Sym& elems, int elem_size,
+                                 const std::string& expr) {
+  v_.shared_bytes_per_block_ =
+      v_.shared_bytes_per_block_ + elems * Sym(elem_size);
+  const auto ub = v_.env_.upper_bound(v_.shared_bytes_per_block_);
+  const auto cap =
+      static_cast<long long>(v_.spec_.shared_mem_per_block_bytes);
+  if (!ub.has_value() || *ub > cap) {
+    std::ostringstream os;
+    os << "per-block shared memory " << v_.shared_bytes_per_block_.str()
+       << " B vs device limit " << cap << " B";
+    if (ub.has_value()) os << " (worst case " << *ub << ")";
+    else os << " (unbounded)";
+    v_.report(ViolationKind::kSharedMemOverflow, expr, os.str());
+  }
+  AbsSpan s;
+  s.name = v_.kernel_ + ".shared#" + std::to_string(v_.shared_count_++);
+  s.size = elems;
+  s.initialized = true;  // Block::shared zero-fills
+  v_.shared_spans_.push_back(std::move(s));
+  return v_.shared_spans_.back();
+}
+
+void AbsKernel::sync(const std::string& expr) {
+  if (v_.divergence_depth_ > 0) {
+    v_.report(ViolationKind::kDivergentSync, expr,
+              "barrier executed under divergent control flow (not all "
+              "threads of the block reach it)");
+  }
+}
+
+void AbsKernel::begin_divergent(const std::string& expr) {
+  (void)expr;
+  v_.divergence_depth_ += 1;
+}
+
+void AbsKernel::end_divergent() {
+  ACSR_CHECK(v_.divergence_depth_ > 0);
+  v_.divergence_depth_ -= 1;
+}
+
+void AbsKernel::launch_child(const std::string& kernel, const Sym& count,
+                             const Sym& child_grid, int child_block,
+                             const Body& body, const std::string& expr) {
+  if (!v_.spec_.supports_dynamic_parallelism()) {
+    v_.report(ViolationKind::kDynamicParallelism, expr,
+              "device-side launch on " + v_.spec_.name + " (CC " +
+                  std::to_string(v_.spec_.compute_major) + "." +
+                  std::to_string(v_.spec_.compute_minor) + " < 3.5)");
+    return;  // the device would reject it; nothing further to interpret
+  }
+  v_.pending_children_ = v_.pending_children_ + count;
+  v_.check_launch_config(kernel, child_grid, child_block, "child launch");
+  v_.children_launched_ = true;
+
+  const std::string parent_kernel = v_.kernel_;
+  v_.kernel_ = kernel;
+  AbsKernel child(v_, child_grid, child_block, /*is_child=*/true);
+  body(child);
+  v_.kernel_ = parent_kernel;
+}
+
+}  // namespace acsr::analysis

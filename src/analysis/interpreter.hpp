@@ -1,0 +1,216 @@
+// Abstract SIMT interpreter: re-executes a kernel's access patterns over
+// the symbolic value domain (domain.hpp) and checks, for every matrix in
+// the engine's declared shape class and a concrete DeviceSpec:
+//
+//   (a) every global/shared access lands inside its allocation,
+//   (b) plain stores cannot collide (write-race freedom: indices must be
+//       provably pairwise-distinct across the whole grid; atomics are
+//       exempt but must hit initialized memory),
+//   (c) barriers are warp-uniform (no sync under divergent control),
+//   (d) launch configurations — grid/block dims, per-block shared memory,
+//       dynamic-parallelism child launches and the pending-launch cap —
+//       respect the device-spec limits.
+//
+// A model (models.cpp) mirrors each concrete kernel's index and guard
+// structure against this API; every guard in the kernel becomes an
+// interval refinement, every format invariant a declared span property.
+// Violations carry kernel + expression attribution.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/domain.hpp"
+#include "analysis/shape.hpp"
+#include "vgpu/device_spec.hpp"
+
+namespace acsr::analysis {
+
+enum class ViolationKind {
+  kOutOfBounds,
+  kUninitRead,
+  kWriteRace,
+  kDivergentSync,
+  kBadLaunchConfig,
+  kSharedMemOverflow,
+  kDynamicParallelism,    ///< device-side launch on a CC < 3.5 device
+  kPendingLaunchOverflow  ///< child launches may exceed the pending cap
+};
+
+const char* violation_kind_name(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind;
+  std::string engine;
+  std::string device;
+  std::string kernel;
+  std::string expr;    ///< the offending access/launch expression
+  std::string detail;  ///< why the proof failed
+  std::string str() const;
+};
+
+/// Runtime state of one declared span during interpretation.
+struct AbsSpan {
+  // Declared invariants (from SpanDecl).
+  std::string name;
+  Sym size;
+  AbsInt content;
+  bool content_known = false;
+  bool monotone = false;
+  bool injective = false;
+  bool initialized = true;
+
+  // Per-launch write tracking (reset by Verifier at launch boundaries).
+  int plain_stores = 0;     ///< plain-store statements by the parent grid
+  bool atomic_stores = false;
+  bool child_plain = false;   ///< some child grid plain-writes this span
+  bool child_atomic = false;  ///< some child grid atomically updates it
+  bool pending_init = false;  ///< plain-written this launch
+};
+
+class AbsKernel;
+
+/// One verification run: an engine's shape class on one device spec. Call
+/// declare_shape, then launch() once per kernel in issue order (sequential
+/// launches are ordered, as on a single stream), then take().
+class Verifier {
+ public:
+  using Body = std::function<void(AbsKernel&)>;
+
+  Verifier(std::string engine, vgpu::DeviceSpec spec)
+      : engine_(std::move(engine)), spec_(std::move(spec)) {}
+
+  void declare_shape(const ShapeClass& sc);
+  void declare_param(const ParamDecl& p) { env_.declare(p.name, p.lo, p.hi); }
+  void declare_span(const SpanDecl& s);
+
+  /// Symbolic reference to a declared parameter (checked).
+  Sym p(const std::string& name) const;
+  AbsSpan& span(const std::string& name);
+
+  const ParamEnv& env() const { return env_; }
+  const vgpu::DeviceSpec& spec() const { return spec_; }
+  const std::string& engine() const { return engine_; }
+
+  /// Abstract-execute one kernel launch. `grid` must be provably >= 1.
+  void launch(const std::string& kernel, const Sym& grid, int block_dim,
+              const Body& body);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::vector<Violation> take() { return std::move(violations_); }
+
+ private:
+  friend class AbsKernel;
+
+  void report(ViolationKind kind, const std::string& expr,
+              const std::string& detail);
+  void check_launch_config(const std::string& kernel, const Sym& grid,
+                           int block_dim, const char* what);
+  /// Bounds proof for one access: 0 <= idx.range <= size-1.
+  bool check_access(const AbsSpan& s, const AbsLanes& idx,
+                    const std::string& expr);
+  void check_read_initialized(const AbsSpan& s, const std::string& expr);
+
+  std::string engine_;
+  vgpu::DeviceSpec spec_;
+  ParamEnv env_;
+  std::map<std::string, AbsSpan> spans_;
+  std::deque<AbsSpan> shared_spans_;  // stable storage, launch lifetime
+  std::vector<Violation> violations_;
+
+  // Current launch state.
+  std::string kernel_;
+  bool in_launch_ = false;
+  bool children_launched_ = false;
+  Sym pending_children_;
+  Sym shared_bytes_per_block_;
+  int shared_count_ = 0;
+  int divergence_depth_ = 0;
+};
+
+/// The abstract counterpart of vgpu::Warp + Block handed to kernel models.
+/// One AbsKernel stands for *every* warp of the launch at once; values are
+/// AbsLanes covering all threads. Child grids get their own AbsKernel with
+/// is_child set (sibling grids execute concurrently).
+class AbsKernel {
+ public:
+  using Body = std::function<void(AbsKernel&)>;
+
+  // --- geometry ---
+  const Sym& grid() const { return grid_; }
+  int block_dim() const { return block_dim_; }
+  int warps_per_block() const {
+    return (block_dim_ + vgpu::kWarpSize - 1) / vgpu::kWarpSize;
+  }
+  Sym num_warps() const { return grid_ * Sym(warps_per_block()); }
+  Sym num_threads() const { return grid_ * Sym(block_dim_); }
+  /// [0, num_warps - 1]
+  AbsInt global_warp() const { return {Sym(0), num_warps() - Sym(1)}; }
+  /// [0, grid - 1]
+  AbsInt block_idx() const { return {Sym(0), grid_ - Sym(1)}; }
+  /// Global linear thread ids: affine within each warp, pairwise-distinct
+  /// across the whole grid.
+  AbsLanes global_threads() const {
+    return AbsLanes::affine_of(AbsInt(Sym(0), num_threads() - Sym(32)),
+                               /*step=*/1, /*distinct_across_grid=*/true);
+  }
+  /// Lane ids 0..31: distinct within a warp but repeated across warps.
+  AbsLanes lanes() const {
+    return AbsLanes::affine_of(AbsInt(Sym(0), Sym(0)), /*step=*/1,
+                               /*distinct_across_grid=*/false);
+  }
+
+  // --- global memory ---
+  AbsLanes load(AbsSpan& s, const AbsLanes& idx, const std::string& expr);
+  /// The fused col+val gather: both spans indexed by idx.
+  std::pair<AbsLanes, AbsLanes> load_pair(AbsSpan& a, AbsSpan& b,
+                                          const AbsLanes& idx,
+                                          const std::string& expr);
+  /// Texture path: same safety obligations as load.
+  AbsLanes load_tex(AbsSpan& s, const AbsLanes& idx, const std::string& expr) {
+    return load(s, idx, expr);
+  }
+  /// Warp-uniform single-element load.
+  AbsLanes load_scalar(AbsSpan& s, const AbsInt& i, const std::string& expr) {
+    return load(s, AbsLanes::of_range(i), expr);
+  }
+  void store(AbsSpan& s, const AbsLanes& idx, const std::string& expr);
+  void atomic_add(AbsSpan& s, const AbsLanes& idx, const std::string& expr);
+
+  // --- shared memory ---
+  /// Block::shared<T>(n): zero-filled, block lifetime. Checks the
+  /// per-block budget against the device spec.
+  AbsSpan& shared_alloc(const Sym& elems, int elem_size,
+                        const std::string& expr);
+
+  // --- control ---
+  /// __syncthreads; must not execute under divergent control.
+  void sync(const std::string& expr = "__syncthreads()");
+  /// Enter/leave a lane- or block-varying branch region.
+  void begin_divergent(const std::string& expr);
+  void end_divergent();
+
+  // --- dynamic parallelism ---
+  /// `count` child grids (symbolic), each with the given geometry; `body`
+  /// models one generic sibling. Siblings execute concurrently with each
+  /// other; the parent's writes *before* this call are visible to them.
+  void launch_child(const std::string& kernel, const Sym& count,
+                    const Sym& child_grid, int child_block, const Body& body,
+                    const std::string& expr);
+
+ private:
+  friend class Verifier;
+  AbsKernel(Verifier& v, Sym grid, int block_dim, bool is_child)
+      : v_(v), grid_(std::move(grid)), block_dim_(block_dim),
+        is_child_(is_child) {}
+
+  Verifier& v_;
+  Sym grid_;
+  int block_dim_;
+  bool is_child_;
+};
+
+}  // namespace acsr::analysis

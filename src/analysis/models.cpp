@@ -1,0 +1,602 @@
+// One abstract re-execution per engine: each model mirrors the concrete
+// kernel's index arithmetic and guard structure (see the engine header it
+// is named after) over the symbolic shape class declared next to those
+// kernels. Every `if (idx < n)` in the kernel becomes a guard_below, every
+// loop over a padded width becomes the interval its iterations cover, and
+// every format invariant the builder establishes is consumed through the
+// declared span properties — so a passing proof holds for *all* matrices
+// of the shape class, not one test input.
+//
+// The defect corpus at the bottom mirrors tests/test_sanitizer.cpp: every
+// defect class the dynamic sanitizer catches at runtime (minus the free
+// family, which has no static counterpart in this model — see
+// docs/ANALYSIS.md) is planted in a small kernel the verifier must flag.
+#include "analysis/models.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/acsr_engine.hpp"
+#include "spmv/bccoo_engine.hpp"
+#include "spmv/bcsr_engine.hpp"
+#include "spmv/brc_engine.hpp"
+#include "spmv/coo_engine.hpp"
+#include "spmv/csr_scalar.hpp"
+#include "spmv/csr_vector.hpp"
+#include "spmv/ell_engine.hpp"
+#include "spmv/hyb_engine.hpp"
+#include "spmv/merge_csr_engine.hpp"
+#include "spmv/sell_engine.hpp"
+#include "spmv/sic_engine.hpp"
+#include "spmv/tcoo_engine.hpp"
+
+namespace acsr::analysis {
+namespace {
+
+// --- shared model fragments --------------------------------------------------
+
+/// y.assign(n, 0) / Device::zero_fill before an accumulating kernel: a
+/// launch whose distinct per-thread stores define the span, so the next
+/// launch's atomics read initialized memory (the epoch semantics the
+/// dynamic sanitizer enforces per launch boundary).
+void model_zero_fill(Verifier& v, const std::string& span_name,
+                     const Sym& n) {
+  v.launch("zero_fill", v.p("grid"), 256, [&](AbsKernel& k) {
+    k.store(v.span(span_name), k.global_threads().guard_below(n),
+            span_name + "[i] = 0 (i < n)");
+  });
+}
+
+/// Shift every lane down by a warp-uniform symbolic offset (the tiled
+/// x-slice rebase: c_local = c - col_base).
+AbsLanes minus(const AbsLanes& a, const Sym& s) {
+  AbsLanes r = a;
+  r.range.lo = r.range.lo - s;
+  r.range.hi = r.range.hi - s;
+  return r;
+}
+
+/// The generic 32-lane strip of a sliced slab (BRC / SELL / SIC): slots
+/// base + j*32 + l for j in [0, w). One symbolic (base, w, rest) triple
+/// with slab size = base + 32*w + rest stands for every strip at once —
+/// the proof hi = base + 32*w - 1 <= slab - 1 cancels to 0 <= rest.
+void model_slab_strip(Verifier& v, AbsKernel& k, const std::string& col_s,
+                      const std::string& val_s, const Sym& base,
+                      const Sym& w) {
+  const AbsLanes slot = AbsLanes::of_range(
+      AbsInt(base, base + Sym(32) * w - Sym(1)));
+  const AbsLanes col = k.load(v.span(col_s), slot, "col[base + j*32 + l]");
+  k.load(v.span(val_s), slot, "val[base + j*32 + l]");
+  // The pad mask (col >= 0) is the guard that keeps x gathers in range.
+  k.load_tex(v.span("x"), col.guard_at_least(Sym(0)), "x[col] (col >= 0)");
+}
+
+/// The ELL column-major slab walk: thread = row, slot = j*n_rows + row for
+/// j in [0, width). Shared by the standalone ELL engine and HYB's ELL part.
+void model_ell_kernel(Verifier& v, const std::string& kname,
+                      const std::string& col_s, const std::string& val_s,
+                      const Sym& width) {
+  v.launch(kname, v.p("grid"), 128, [&](AbsKernel& k) {
+    const Sym n_rows = v.p("n_rows");
+    const AbsLanes rows = k.global_threads().guard_below(n_rows);
+    // hi = (n_rows - 1) + (width - 1)*n_rows = width*n_rows - 1 — exactly
+    // the slab size minus one, for every width including 0 (vacuous).
+    const AbsLanes slot = AbsLanes::of_range(AbsInt(
+        rows.range.lo, rows.range.hi + (width - Sym(1)) * n_rows));
+    const AbsLanes col = k.load(v.span(col_s), slot, "col[j*n_rows + row]");
+    k.load(v.span(val_s), slot, "val[j*n_rows + row]");
+    k.load_tex(v.span("x"), col.guard_at_least(Sym(0)), "x[col] (col >= 0)");
+    k.store(v.span("y"), rows, "y[row] = sum (row < n_rows)");
+  });
+}
+
+/// The segmented-scan COO walk: thread = entry, atomics into y at segment
+/// tails. Shared by the standalone COO engine and HYB's tail. Requires y
+/// initialized (zero-filled or ELL-defined) before this launch.
+void model_coo_kernel(Verifier& v, const std::string& kname,
+                      const std::string& row_s, const std::string& col_s,
+                      const std::string& val_s, const Sym& n) {
+  v.launch(kname, v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes idx = k.global_threads().guard_below(n);
+    const AbsLanes r = k.load(v.span(row_s), idx, "row[i] (i < nnz)");
+    const AbsLanes c = k.load(v.span(col_s), idx, "col[i] (i < nnz)");
+    k.load(v.span(val_s), idx, "val[i] (i < nnz)");
+    k.load_tex(v.span("x"), c, "x[col[i]]");
+    k.atomic_add(v.span("y"), r, "atomicAdd(&y[row], segment_sum)");
+  });
+}
+
+/// The permuted-slab store discipline (BRC / SELL): warp = strip, lanes
+/// own rows perm[strip*32 + l]. The permutation's injectivity times the
+/// pairwise-distinct slot ids is what makes the scattered y store race-free.
+void model_permuted_slab(Verifier& v, const std::string& kname,
+                         const Sym& n_strips, const std::string& perm_s,
+                         const std::string& off_s, const std::string& w_s,
+                         const std::string& col_s, const std::string& val_s,
+                         const Sym& strip_w) {
+  v.launch(kname, v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsInt strip(Sym(0), n_strips - Sym(1));  // guarded < n_strips
+    k.load_scalar(v.span(off_s), strip, off_s + "[strip]");
+    k.load_scalar(v.span(w_s), strip, w_s + "[strip]");
+    // pr = iota(strip*32): affine per warp, distinct across the grid
+    // (each strip owns its own 32 slots), guarded pr < n_rows.
+    const AbsLanes pr =
+        AbsLanes::affine_of(AbsInt(Sym(0), (n_strips - Sym(1)) * Sym(32)),
+                            /*step=*/1, /*distinct_across_grid=*/true)
+            .guard_below(v.p("n_rows"));
+    const AbsLanes out_row = k.load(v.span(perm_s), pr, perm_s + "[strip*32 + l]");
+    model_slab_strip(v, k, col_s, val_s, v.p("slab_base"), strip_w);
+    k.store(v.span("y"), out_row, "y[" + perm_s + "[pr]] = sum");
+  });
+}
+
+// --- engine models -----------------------------------------------------------
+
+void model_csr_scalar(Verifier& v) {
+  v.launch("csr_scalar", v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes rows = k.global_threads().guard_below(v.p("n_rows"));
+    const AbsLanes start = k.load(v.span("row_start"), rows, "row_start[row]");
+    const AbsLanes end = k.load(v.span("row_end"), rows, "row_end[row]");
+    // The per-lane cursor lives in [start, end): lower-bounded by the
+    // smallest begin offset, upper-bounded by the largest end minus one.
+    const AbsLanes cur = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), cur,
+                                "col_idx/vals[cur] (start <= cur < end)");
+    k.load_tex(v.span("x"), cv.first, "x[col]");
+    k.store(v.span("y"), rows, "y[row] = sum (row < n_rows)");
+  });
+}
+
+/// Also the model for "csr"/"csr-cusparse" (same kernel, wider vec) and
+/// the structure ACSR's bin grids instantiate with a row map.
+void model_csr_vector(Verifier& v) {
+  v.launch("csr_vector", v.p("grid"), 128, [&](AbsKernel& k) {
+    // One row slot per warp sub-group; the heads mask (sub-lane 0) leaves
+    // exactly one storing lane per slot and slots partition the threads,
+    // so the stored rows are pairwise-distinct across the grid.
+    const AbsLanes row = AbsLanes::of_range(
+        AbsInt(Sym(0), v.p("n_rows") - Sym(1)), /*distinct=*/true);
+    const AbsLanes start = k.load(v.span("row_start"), row, "row_start[row]");
+    const AbsLanes end = k.load(v.span("row_end"), row, "row_end[row]");
+    const AbsLanes i = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                "col_idx/vals[i] (start <= i < end)");
+    k.load_tex(v.span("x"), cv.first, "x[col]");
+    k.store(v.span("y"), row, "y[row] = sum (heads)");
+  });
+}
+
+void model_ell(Verifier& v) {
+  model_ell_kernel(v, "ell", "ell.col", "ell.val", v.p("width"));
+}
+
+void model_coo(Verifier& v) {
+  model_zero_fill(v, "y", v.p("n_rows"));
+  model_coo_kernel(v, "coo_segmented", "coo.row", "coo.col", "coo.val",
+                   v.p("nnz"));
+}
+
+void model_hyb(Verifier& v) {
+  // The ELL pass covers every row (its guard is row < n_rows), defining y;
+  // the COO tail pass then accumulates atomically in a later launch.
+  model_ell_kernel(v, "hyb_ell", "hyb.ell.col", "hyb.ell.val",
+                   v.p("ell_width"));
+  model_coo_kernel(v, "hyb_coo", "hyb.coo.row", "hyb.coo.col", "hyb.coo.val",
+                   v.p("tail_nnz"));
+}
+
+void model_brc(Verifier& v) {
+  model_permuted_slab(v, "brc", v.p("n_blocks"), "brc.perm", "brc.boff",
+                      "brc.bwidth", "brc.col", "brc.val", v.p("block_w"));
+}
+
+void model_sell(Verifier& v) {
+  model_permuted_slab(v, "sell", v.p("n_slices"), "sell.perm", "sell.soff",
+                      "sell.swidth", "sell.col", "sell.val", v.p("slice_w"));
+}
+
+void model_sic(Verifier& v) {
+  v.launch("sic", v.p("grid"), 128, [&](AbsKernel& k) {
+    const Sym n_blocks = v.p("n_blocks");
+    const AbsInt blk(Sym(0), n_blocks - Sym(1));  // guarded < n_blocks
+    k.load_scalar(v.span("sic.boff"), blk, "boff[blk]");
+    k.load_scalar(v.span("sic.bwidth"), blk, "bwidth[blk]");
+    const AbsLanes slot =
+        AbsLanes::affine_of(AbsInt(Sym(0), (n_blocks - Sym(1)) * Sym(32)),
+                            /*step=*/1, /*distinct_across_grid=*/true)
+            .guard_below(v.p("n_slots"));
+    // sic.rows is injective over non-pad entries and the pads (-1) are
+    // masked out by the live &= row >= 0 guard, so the surviving rows
+    // stay pairwise-distinct.
+    const AbsLanes out_row =
+        k.load(v.span("sic.rows"), slot, "rows[blk*32 + l]")
+            .guard_at_least(Sym(0));
+    model_slab_strip(v, k, "sic.col", "sic.val", v.p("slab_base"),
+                     v.p("block_w"));
+    k.store(v.span("y"), out_row, "y[rows[slot]] = sum (row >= 0)");
+  });
+}
+
+void model_bccoo(Verifier& v) {
+  model_zero_fill(v, "y", v.p("n_rows"));
+  v.launch("bccoo", v.p("grid"), 128, [&](AbsKernel& k) {
+    const Sym n_blocks = v.p("n_blocks");
+    const Sym width = v.p("width");
+    const AbsLanes blk = k.global_threads().guard_below(n_blocks);
+    const AbsLanes row = k.load(v.span("bccoo.row"), blk, "brow[blk]");
+    // The pack invariant declared on bccoo.col: base column plus every
+    // prefix of byte deltas stays inside [0, n_cols).
+    const AbsLanes col = k.load(v.span("bccoo.col"), blk, "bcol[blk]");
+    // slot = blk*width + j, j in [0, width): hi = n_blocks*width - 1.
+    const AbsLanes slot = AbsLanes::of_range(AbsInt(
+        Sym(0), (n_blocks - Sym(1)) * width + width - Sym(1)));
+    k.load(v.span("bccoo.delta"), slot, "delta[blk*width + j]");
+    k.load(v.span("bccoo.val"), slot, "val[blk*width + j]");
+    k.load_tex(v.span("x"), col, "x[col] (delta decode in range)");
+    k.atomic_add(v.span("y"), row, "atomicAdd(&y[head_row], head_sum)");
+  });
+}
+
+void model_tcoo(Verifier& v) {
+  // One symbolic tile (tile_n entries, x window [col_base, col_base+xw))
+  // stands for every tile of the sequential tile loop; y accumulates
+  // across tiles, so it is zero-filled once up front.
+  model_zero_fill(v, "y", v.p("n_rows"));
+  v.launch("tcoo_tile", v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes idx = k.global_threads().guard_below(v.p("tile_n"));
+    const AbsLanes r = k.load(v.span("tcoo.row"), idx, "row_idx[i]");
+    const AbsLanes c = k.load(v.span("tcoo.col"), idx, "col_idx[i]");
+    k.load(v.span("tcoo.val"), idx, "vals[i]");
+    // The partition invariant: tile columns lie in the tile's x window,
+    // so the rebased gather is bounded by the slice width.
+    k.load_tex(v.span("x_tile"), minus(c, v.p("col_base")),
+               "x_tile[col - col_base]");
+    k.atomic_add(v.span("y"), r, "atomicAdd(&y[row], segment_sum)");
+  });
+}
+
+void model_bcsr(Verifier& v) {
+  v.launch("bcsr", v.p("grid"), 128, [&](AbsKernel& k) {
+    const Sym nbr = v.p("nbr");
+    const Sym bs = v.p("bs");
+    const Sym n_blocks = v.p("n_blocks");
+    const AbsInt br(Sym(0), nbr - Sym(1));  // guarded < nbr
+    k.load_scalar(v.span("bcsr.roff"), br, "roff[br]");
+    k.load_scalar(v.span("bcsr.roff"), AbsInt(Sym(1), nbr), "roff[br + 1]");
+    // The tile cursor is masked bidx < hi <= n_blocks (roff content).
+    const AbsLanes bidx =
+        AbsLanes::of_range(AbsInt(Sym(0), n_blocks - Sym(1)));
+    const AbsLanes bcol = k.load(v.span("bcsr.col"), bidx, "col[bidx]");
+    // vslot = bidx*bs^2 + sub*bs + j with sub, j in [0, bs):
+    // hi = (n_blocks-1)*bs^2 + (bs-1)*bs + bs - 1 = n_blocks*bs^2 - 1.
+    const AbsLanes vslot = AbsLanes::of_range(
+        AbsInt(Sym(0), (n_blocks - Sym(1)) * bs * bs + (bs - Sym(1)) * bs +
+                           bs - Sym(1)));
+    k.load(v.span("bcsr.val"), vslot, "val[bidx*bs*bs + sub*bs + j]");
+    // x gather: bcol*bs + j, additionally masked < x.size() in the kernel.
+    const AbsLanes xidx =
+        AbsLanes::of_range(
+            AbsInt(Sym(0), (v.p("n_bcols") - Sym(1)) * bs + bs - Sym(1)))
+            .guard_below(v.p("n_cols"));
+    (void)bcol;
+    k.load_tex(v.span("x"), xidx, "x[bcol*bs + j] (masked < n_cols)");
+    // Each block-row owns rows br*bs + i, i in [0, bs): distinct block
+    // rows times distinct in-tile lanes makes the store race-free.
+    const AbsLanes rows =
+        AbsLanes::of_range(AbsInt(Sym(0), nbr * bs - Sym(1)),
+                           /*distinct=*/true)
+            .guard_below(v.p("n_rows"));
+    k.store(v.span("y"), rows, "y[br*bs + i] = sum (masked < n_rows)");
+  });
+}
+
+void model_merge_csr(Verifier& v) {
+  model_zero_fill(v, "y", v.p("n_rows"));
+  v.launch("merge_csr", v.p("grid"), 128, [&](AbsKernel& k) {
+    const Sym n_rows = v.p("n_rows");
+    const Sym nnz = v.p("nnz");
+    // Diagonal binary search: probes row_end[mid] with mid's upper end
+    // clamped to min(diagonal, n_rows) in the kernel.
+    k.load(v.span("merge.row_end"),
+           AbsLanes::of_range(AbsInt(Sym(0), n_rows - Sym(1))),
+           "row_end[mid] (mid < n_rows)");
+    // Staged value window: indices in [i_lo, i_hi) with i_hi <= nnz.
+    const AbsLanes idx =
+        AbsLanes::of_range(AbsInt(Sym(0), nnz - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), idx,
+                                "col_idx/vals[i] (i < i_hi <= nnz)");
+    // Merge-path invariant: a live lane's current row r < n_rows (row
+    // n_rows-1's end marker is the last item on the path).
+    const AbsLanes r =
+        AbsLanes::of_range(AbsInt(Sym(0), n_rows - Sym(1)));
+    k.load(v.span("merge.row_end"), r, "row_end[r] (live => r < n_rows)");
+    k.load_tex(v.span("x"), cv.first, "x[col]");
+    // Row-end flush and cross-lane carry are both atomic: atomics never
+    // race each other, and y was zero-filled a launch ago.
+    k.atomic_add(v.span("y"), r, "atomicAdd(&y[out_row], sum) (row end)");
+    k.atomic_add(v.span("y"), r, "atomicAdd(&y[out_row], carry) (tails)");
+  });
+}
+
+/// ACSR (Algorithm 2 + 3): bin grids run the csr_vector structure over
+/// disjoint row maps; the DP tail parent zeroes its rows then launches one
+/// child grid per heavy row. Soundness notes in docs/ANALYSIS.md: the
+/// concurrently-issued bin grids are modeled as one symbolic launch over
+/// the full bin_rows map (their disjointness is the declared injectivity),
+/// and enable_dp mirrors bin_matrix's device-capability gate.
+void model_acsr(Verifier& v, bool enable_dp) {
+  v.launch("acsr_bin", v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes slot = AbsLanes::of_range(
+        AbsInt(Sym(0), v.p("n_slots") - Sym(1)), /*distinct=*/true);
+    const AbsLanes row =
+        k.load(v.span("acsr.bin_rows"), slot, "bin_rows[slot]");
+    const AbsLanes start = k.load(v.span("row_start"), row, "row_start[row]");
+    const AbsLanes end = k.load(v.span("row_end"), row, "row_end[row]");
+    const AbsLanes i = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                "col_idx/vals[i] (start <= i < end)");
+    k.load_tex(v.span("x"), cv.first, "x[col]");
+    k.store(v.span("y"), row, "y[bin_rows[slot]] = sum (heads)");
+  });
+  if (!enable_dp || !v.spec().supports_dynamic_parallelism()) return;
+  v.launch("acsr_dp_parent", v.p("grid"), 32, [&](AbsKernel& k) {
+    const Sym n_dp = v.p("n_dp");
+    const AbsLanes tid = k.global_threads().guard_below(n_dp);
+    const AbsLanes row = k.load(v.span("acsr.dp_rows"), tid, "dp_rows[tid]");
+    k.load(v.span("row_start"), row, "row_start[row]");
+    k.load(v.span("row_end"), row, "row_end[row]");
+    // Parent zeroes y[row] *before* the child launch: ordered by the DP
+    // parent->child visibility guarantee, not a race.
+    k.store(v.span("y"), row, "y[row] = 0 (before child launch)");
+    k.launch_child(
+        "acsr_row", n_dp, v.p("child_grid"), 256,
+        [&](AbsKernel& c) {
+          // Block::shared<T>(warps_per_block): 8 warps at 256 threads.
+          AbsSpan& partials =
+              c.shared_alloc(Sym(8), 8, "blk.shared<T>(warps_per_block)");
+          const AbsLanes i = AbsLanes::of_range(
+              AbsInt(Sym(0), v.p("nnz") - Sym(1)));
+          const auto cv = c.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                      "col_idx/vals[i] (start <= i < end)");
+          c.load_tex(v.span("x"), cv.first, "x[col]");
+          // One slot per warp of the block; shared memory is per-block,
+          // so per-block distinct slots cannot alias across the grid.
+          c.store(partials,
+                  AbsLanes::of_range(AbsInt(Sym(0), Sym(7)),
+                                     /*distinct=*/true),
+                  "partials[warp_in_block] = warp_sum");
+          c.sync("blk.sync()");
+          c.load(partials, AbsLanes::of_range(AbsInt(Sym(0), Sym(7))),
+                 "partials[l] (warp 0 fold)");
+          c.atomic_add(v.span("y"),
+                       AbsLanes::of_range(
+                           AbsInt(Sym(0), v.p("n_rows") - Sym(1))),
+                       "atomicAdd(&y[row], block_sum)");
+        },
+        "launch_row_child(row) x n_dp");
+  });
+}
+
+// --- registry ----------------------------------------------------------------
+
+struct EngineModel {
+  const char* name;
+  ShapeClass (*shape)();
+  void (*run)(Verifier&);
+};
+
+const EngineModel kEngines[] = {
+    {"csr-scalar", spmv::csr_scalar_shape_class, model_csr_scalar},
+    {"csr-vector", spmv::csr_vector_shape_class, model_csr_vector},
+    {"csr", spmv::csr_vector_shape_class, model_csr_vector},
+    {"ell", spmv::ell_shape_class, model_ell},
+    {"coo", spmv::coo_shape_class, model_coo},
+    {"hyb", spmv::hyb_shape_class, model_hyb},
+    {"brc", spmv::brc_shape_class, model_brc},
+    {"bccoo", spmv::bccoo_shape_class, model_bccoo},
+    {"tcoo", spmv::tcoo_shape_class, model_tcoo},
+    {"sic", spmv::sic_shape_class, model_sic},
+    {"merge-csr", spmv::merge_csr_shape_class, model_merge_csr},
+    {"sell", spmv::sell_shape_class, model_sell},
+    {"bcsr", spmv::bcsr_shape_class, model_bcsr},
+    {"acsr", core::acsr_shape_class,
+     [](Verifier& v) { model_acsr(v, /*enable_dp=*/true); }},
+    {"acsr-binning", core::acsr_shape_class,
+     [](Verifier& v) { model_acsr(v, /*enable_dp=*/false); }},
+};
+
+const EngineModel* find_engine(const std::string& name) {
+  // The factory's "csr-cusparse" alias dispatches to the same engine as
+  // "csr" (the cuSPARSE-role CsrVectorEngine), hence the same model.
+  const std::string& n = name == "csr-cusparse" ? "csr" : name;
+  for (const EngineModel& m : kEngines)
+    if (n == m.name) return &m;
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_engine_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const EngineModel& m : kEngines) v.emplace_back(m.name);
+    return v;
+  }();
+  return names;
+}
+
+bool knows_engine(const std::string& name) {
+  return find_engine(name) != nullptr;
+}
+
+std::vector<Violation> verify_engine(const std::string& name,
+                                     const vgpu::DeviceSpec& spec) {
+  const EngineModel* m = find_engine(name);
+  ACSR_REQUIRE(m != nullptr,
+               "no verifier model for engine '" << name << "'");
+  Verifier v(name, spec);
+  v.declare_shape(m->shape());
+  m->run(v);
+  return v.take();
+}
+
+// --- defect corpus -----------------------------------------------------------
+
+namespace {
+
+struct DefectModel {
+  DefectCase info;
+  void (*run)(Verifier&);
+};
+
+const DefectModel kDefects[] = {
+    {{"oob-load", ViolationKind::kOutOfBounds, "titan",
+      "constant index one past a 4-element buffer"},
+     [](Verifier& v) {
+       v.declare_span(data_span("buf", Sym(4), "small scratch buffer"));
+       v.launch("oob_load", Sym(1), 32, [&](AbsKernel& k) {
+         k.load(v.span("buf"), AbsLanes::of_range(AbsInt(Sym(4))), "buf[4]");
+       });
+     }},
+    {{"forged-span", ViolationKind::kOutOfBounds, "titan",
+      "span handle claims n+8 elements over an n-element allocation"},
+     [](Verifier& v) {
+       v.declare_param(param("n", 0, "true allocation size"));
+       v.declare_span(data_span("alloc", Sym::param("n"), "backing store"));
+       v.launch("forged_span", Sym(1), 32, [&](AbsKernel& k) {
+         k.load(v.span("alloc"),
+                AbsLanes::of_range(
+                    AbsInt(Sym(0), Sym::param("n") + Sym(7))),
+                "forged[i] (i < n + 8)");
+       });
+     }},
+    {{"uninit-read", ViolationKind::kUninitRead, "titan",
+      "load from a buffer never host-filled or device-stored"},
+     [](Verifier& v) {
+       v.declare_span(data_span("fresh", Sym(32), "never initialized",
+                                /*initialized=*/false));
+       v.launch("uninit_read", Sym(1), 32, [&](AbsKernel& k) {
+         k.load(v.span("fresh"),
+                AbsLanes::of_range(AbsInt(Sym(0), Sym(31))), "fresh[lane]");
+       });
+     }},
+    {{"atomic-uninit", ViolationKind::kUninitRead, "titan",
+      "accumulate into a y that was never zero-filled (the COO defect)"},
+     [](Verifier& v) {
+       v.declare_param(param("n", 0, "output length"));
+       v.declare_span(data_span("y", Sym::param("n"), "output vector",
+                                /*initialized=*/false));
+       v.launch("atomic_uninit", Sym(1), 32, [&](AbsKernel& k) {
+         k.atomic_add(v.span("y"),
+                      AbsLanes::of_range(
+                          AbsInt(Sym(0), Sym::param("n") - Sym(1))),
+                      "atomicAdd(&y[row], s) without zero-fill");
+       });
+     }},
+    {{"lane-race", ViolationKind::kWriteRace, "titan",
+      "two lanes of one warp plain-store the same element"},
+     [](Verifier& v) {
+       v.declare_span(data_span("y", Sym(4), "racy output"));
+       v.launch("lane_race", Sym(1), 32, [&](AbsKernel& k) {
+         k.store(v.span("y"), AbsLanes::of_range(AbsInt(Sym(0))),
+                 "y[0] = lane (all lanes)");
+       });
+     }},
+    {{"block-race", ViolationKind::kWriteRace, "titan",
+      "every block plain-stores y[lane] — distinct per warp, aliased "
+      "across blocks"},
+     [](Verifier& v) {
+       v.declare_span(data_span("y", Sym(32), "racy output"));
+       v.launch("block_race", Sym(2), 32, [&](AbsKernel& k) {
+         k.store(v.span("y"), k.lanes(), "y[lane] = block_idx");
+       });
+     }},
+    {{"mixed-race", ViolationKind::kWriteRace, "titan",
+      "plain store and atomic update of one span in the same launch"},
+     [](Verifier& v) {
+       v.declare_span(data_span("y", Sym(64), "output"));
+       v.launch("mixed_race", Sym(2), 32, [&](AbsKernel& k) {
+         const AbsLanes i = k.global_threads().guard_below(Sym(64));
+         k.store(v.span("y"), i, "y[i] = s");
+         k.atomic_add(v.span("y"), i, "atomicAdd(&y[i], s)");
+       });
+     }},
+    {{"dp-sibling-race", ViolationKind::kWriteRace, "titan",
+      "two sibling child grids plain-write the same span"},
+     [](Verifier& v) {
+       v.declare_span(data_span("y", Sym(32), "output"));
+       v.launch("dp_parent", Sym(1), 32, [&](AbsKernel& k) {
+         const auto child = [&](AbsKernel& c) {
+           c.store(v.span("y"), c.global_threads().guard_below(Sym(32)),
+                   "y[tid] = s (child)");
+         };
+         k.launch_child("child_a", Sym(1), Sym(1), 32, child, "launch A");
+         k.launch_child("child_b", Sym(1), Sym(1), 32, child, "launch B");
+       });
+     }},
+    {{"divergent-sync", ViolationKind::kDivergentSync, "titan",
+      "__syncthreads inside a lane-varying branch"},
+     [](Verifier& v) {
+       v.launch("divergent_sync", Sym(1), 64, [&](AbsKernel& k) {
+         k.begin_divergent("if (lane < 16)");
+         k.sync();
+         k.end_divergent();
+       });
+     }},
+    {{"dp-on-fermi", ViolationKind::kDynamicParallelism, "gtx580",
+      "device-side launch on a CC 2.0 device"},
+     [](Verifier& v) {
+       v.launch("dp_on_fermi", Sym(1), 32, [&](AbsKernel& k) {
+         k.launch_child("child", Sym(1), Sym(1), 32,
+                        [](AbsKernel&) {}, "cudaLaunchDevice on Fermi");
+       });
+     }},
+    {{"pending-overflow", ViolationKind::kPendingLaunchOverflow, "titan",
+      "one child launch per row with no bound on the row count"},
+     [](Verifier& v) {
+       v.declare_param(param("m", 0, "unbounded row count"));
+       v.launch("pending_overflow", Sym(1), 32, [&](AbsKernel& k) {
+         k.launch_child("row_child", Sym::param("m"), Sym(1), 32,
+                        [](AbsKernel&) {}, "launch per row, m unbounded");
+       });
+     }},
+    {{"bad-launch", ViolationKind::kBadLaunchConfig, "titan",
+      "block_dim 2048 exceeds max_threads_per_block"},
+     [](Verifier& v) {
+       v.launch("bad_launch", Sym(1), 2048, [](AbsKernel&) {});
+     }},
+    {{"smem-overflow", ViolationKind::kSharedMemOverflow, "titan",
+      "64 KiB static shared allocation vs the 48 KiB per-block limit"},
+     [](Verifier& v) {
+       v.launch("smem_overflow", Sym(1), 256, [](AbsKernel& k) {
+         k.shared_alloc(Sym(8192), 8, "blk.shared<double>(8192)");
+       });
+     }},
+};
+
+}  // namespace
+
+const std::vector<DefectCase>& all_defect_cases() {
+  static const std::vector<DefectCase> cases = [] {
+    std::vector<DefectCase> v;
+    for (const DefectModel& d : kDefects) v.push_back(d.info);
+    return v;
+  }();
+  return cases;
+}
+
+std::vector<Violation> run_defect(const std::string& name) {
+  for (const DefectModel& d : kDefects) {
+    if (d.info.name != name) continue;
+    Verifier v("defect:" + name, vgpu::DeviceSpec::by_name(d.info.device));
+    d.run(v);
+    return v.take();
+  }
+  ACSR_REQUIRE(false, "unknown defect case '" << name << "'");
+  return {};
+}
+
+}  // namespace acsr::analysis

@@ -1,0 +1,43 @@
+// Engine verification models: one abstract re-execution per engine,
+// mirroring the concrete launch sequence in its engine header against the
+// shape class declared next to the kernels (docs/ANALYSIS.md). Plus the
+// defect corpus: known-bad kernels (mirroring the dynamic sanitizer tests
+// in tests/test_sanitizer.cpp) that the verifier must flag statically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/interpreter.hpp"
+#include "vgpu/device_spec.hpp"
+
+namespace acsr::analysis {
+
+/// Canonical factory engine names, in factory dispatch order.
+const std::vector<std::string>& all_engine_names();
+
+/// True for every name verify_engine accepts (canonical names plus the
+/// "csr-cusparse" alias the factory also takes).
+bool knows_engine(const std::string& name);
+
+/// Abstractly execute the named engine's launch sequence on the given
+/// device spec and return every proof failure (empty = verified safe for
+/// the engine's whole shape class on that device).
+std::vector<Violation> verify_engine(const std::string& name,
+                                     const vgpu::DeviceSpec& spec);
+
+/// One deliberately defective kernel the verifier must flag.
+struct DefectCase {
+  std::string name;        ///< stable id, e.g. "oob-load"
+  ViolationKind expected;  ///< the kind the verifier must report
+  std::string device;     ///< DeviceSpec::by_name key to run it on
+  std::string what;        ///< human description of the planted defect
+};
+
+const std::vector<DefectCase>& all_defect_cases();
+
+/// Run one defect kernel; returns the violations found (the test asserts
+/// the expected kind appears).
+std::vector<Violation> run_defect(const std::string& name);
+
+}  // namespace acsr::analysis

@@ -1,0 +1,87 @@
+// Shape-class declarations: the format metadata contract an engine's
+// kernels are verified against (docs/ANALYSIS.md).
+//
+// Each engine header declares, next to its kernels, the *class* of inputs
+// the engine accepts: named non-negative shape parameters (n_rows, nnz,
+// padded widths, bin caps, ...) and the device-resident spans those
+// parameters size, together with the format invariants the engine's
+// construction code guarantees — row-pointer monotonicity, column indices
+// in [0, n_cols-1], permutation injectivity, zero-filled outputs. The
+// verifier (src/analysis/models.cpp) re-executes the engine's kernel
+// access patterns abstractly and proves them safe for *every* matrix in
+// the class, assuming exactly these declared invariants and nothing else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/domain.hpp"
+
+namespace acsr::analysis {
+
+/// One non-negative shape parameter with its declared range.
+struct ParamDecl {
+  std::string name;
+  long long lo = 0;
+  std::optional<long long> hi;  ///< nullopt: unbounded above
+  std::string meaning;
+};
+
+/// One device-resident span the kernels touch, with its symbolic size and
+/// the format invariants its *contents* carry.
+struct SpanDecl {
+  std::string name;
+  Sym size;  ///< element count as a polynomial over the parameters
+  /// For index-typed spans: the declared value range of stored elements
+  /// (e.g. col_idx in [0, n_cols-1]; row_off in [0, nnz]).
+  AbsInt content;
+  bool content_known = false;  ///< false: payload data, values untracked
+  bool monotone = false;       ///< non-decreasing (CSR row pointers)
+  bool injective = false;      ///< pairwise-distinct values (permutations)
+  bool initialized = true;     ///< safe to read before any kernel writes it
+  std::string meaning;
+};
+
+/// The full declaration for one engine.
+struct ShapeClass {
+  std::string engine;
+  std::vector<ParamDecl> params;
+  std::vector<SpanDecl> spans;
+};
+
+/// Convenience builders used by the engine headers.
+inline ParamDecl param(std::string name, long long lo, std::string meaning) {
+  return ParamDecl{std::move(name), lo, std::nullopt, std::move(meaning)};
+}
+inline ParamDecl param(std::string name, long long lo, long long hi,
+                       std::string meaning) {
+  return ParamDecl{std::move(name), lo, hi, std::move(meaning)};
+}
+
+/// Payload span (values untracked): vals, x, y, ...
+inline SpanDecl data_span(std::string name, Sym size, std::string meaning,
+                          bool initialized = true) {
+  SpanDecl s;
+  s.name = std::move(name);
+  s.size = std::move(size);
+  s.initialized = initialized;
+  s.meaning = std::move(meaning);
+  return s;
+}
+
+/// Index span: contents lie in [lo, hi].
+inline SpanDecl index_span(std::string name, Sym size, AbsInt content,
+                           std::string meaning, bool monotone = false,
+                           bool injective = false) {
+  SpanDecl s;
+  s.name = std::move(name);
+  s.size = std::move(size);
+  s.content = std::move(content);
+  s.content_known = true;
+  s.monotone = monotone;
+  s.injective = injective;
+  s.meaning = std::move(meaning);
+  return s;
+}
+
+}  // namespace acsr::analysis

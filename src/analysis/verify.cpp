@@ -1,0 +1,41 @@
+#include "analysis/verify.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/models.hpp"
+#include "common/check.hpp"
+
+namespace acsr::analysis {
+
+namespace {
+
+bool env_verify_enabled() {
+  const char* v = std::getenv("ACSR_VERIFY");
+  return v != nullptr && v[0] == '1';
+}
+
+// Cached once so the unset-variable path costs one branch per factory
+// call after the first.
+bool g_enabled = env_verify_enabled();
+
+}  // namespace
+
+bool verify_enabled() { return g_enabled; }
+
+void set_verify_enabled(bool on) { g_enabled = on; }
+
+void verify_engine_or_throw(const std::string& name,
+                            const vgpu::DeviceSpec& spec) {
+  if (!knows_engine(name)) return;  // factory reports unknown names itself
+  const std::vector<Violation> vs = verify_engine(name, spec);
+  if (vs.empty()) return;
+  std::ostringstream os;
+  os << "ACSR_VERIFY: engine '" << name << "' failed static verification on "
+     << spec.name << " (" << vs.size() << " violation"
+     << (vs.size() == 1 ? "" : "s") << "):";
+  for (const Violation& v : vs) os << "\n  " << v.str();
+  ACSR_CHECK_MSG(false, os.str());
+}
+
+}  // namespace acsr::analysis

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/shape.hpp"
 #include "core/binning.hpp"
 #include "spmv/csr_device.hpp"
 #include "spmv/csr_vector.hpp"
@@ -310,5 +311,52 @@ class AcsrEngine final : public spmv::EngineBase<T> {
   spmv::CsrDevice<T> dev_csr_;
   std::optional<AcsrLauncher<T>> launcher_;
 };
+
+/// Shape class of the ACSR launch sequence (Algorithms 2-4). Key format
+/// invariants from Binning::build: every row lands in exactly one bin-or-
+/// dp list (both maps injective, so the bin grids' plain y stores and the
+/// DP parent's clearing store cannot collide), and the number of tail
+/// rows is hard-capped at BinningOptions::row_max — which is what keeps
+/// the per-SpMV device-launch count under the Table II pending-launch
+/// limit (cudaLimitDevRuntimePendingLaunchCount, 2048).
+inline analysis::ShapeClass acsr_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym nnz = an::Sym::param("nnz");
+  const an::Sym n_slots = an::Sym::param("n_slots");
+  const an::Sym n_dp = an::Sym::param("n_dp");
+  an::ShapeClass sc;
+  sc.engine = "acsr";
+  sc.params = {
+      an::param("n_rows", 0, "matrix rows"),
+      an::param("n_cols", 0, "matrix columns"),
+      an::param("nnz", 0, "stored non-zeros"),
+      an::param("n_slots", 0, "rows handled by bin grids"),
+      an::param("n_dp", 0, BinningOptions{}.row_max,
+                "tail rows (capped by BinningOptions::row_max)"),
+      an::param("grid", 1, "launch grid dim"),
+      an::param("child_grid", 1, "row-child grid dim"),
+  };
+  sc.spans = {
+      an::index_span("row_start", n_rows, {an::Sym(0), nnz},
+                     "per-row begin offsets", true),
+      an::index_span("row_end", n_rows, {an::Sym(0), nnz},
+                     "per-row end offsets", true),
+      an::index_span("col_idx", nnz, {an::Sym(0), n_cols - an::Sym(1)},
+                     "column indices"),
+      an::data_span("vals", nnz, "non-zero values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+      an::index_span("acsr.bin_rows", n_slots,
+                     {an::Sym(0), n_rows - an::Sym(1)},
+                     "bin row maps (each row in at most one bin)", false,
+                     true),
+      an::index_span("acsr.dp_rows", n_dp,
+                     {an::Sym(0), n_rows - an::Sym(1)},
+                     "tail rows for dynamic parallelism", false, true),
+  };
+  return sc;
+}
 
 }  // namespace acsr::core

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/verify.hpp"
 #include "core/acsr_engine.hpp"
 #include "spmv/bccoo_engine.hpp"
 #include "spmv/bcsr_engine.hpp"
@@ -41,6 +42,11 @@ std::unique_ptr<spmv::SpmvEngine<T>> make_engine(const std::string& name,
                                                  vgpu::Device& dev,
                                                  const mat::Csr<T>& a,
                                                  EngineConfig cfg = {}) {
+  // Opt-in pre-launch gate (ACSR_VERIFY=1): statically prove the engine's
+  // kernels safe for its whole shape class on this device before building
+  // it. Costs one cached-bool branch when the variable is unset.
+  if (analysis::verify_enabled()) [[unlikely]]
+    analysis::verify_engine_or_throw(name, dev.spec());
   if (name == "csr-scalar")
     return std::make_unique<spmv::CsrScalarEngine<T>>(dev, a);
   if (name == "csr-vector")

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <new>
 
+#include "analysis/shape.hpp"
 #include "mat/padded.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -287,5 +288,41 @@ class BccooEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<std::uint8_t> bdel_dev_;
   vgpu::DeviceBuffer<T> bval_dev_;
 };
+
+/// Shape class of the BCCOO kernel: n_blocks fixed-width blocks with one
+/// row id and base column each, plus byte deltas. The pack invariant the
+/// verifier leans on: delta-decoding never leaves the matrix — every
+/// prefix sum blk_col[b] + d_1 + ... + d_j equals a real column index of
+/// the packed row (padding deltas are 0), so the decoded column stays in
+/// [0, n_cols-1]. Block slot b*width + j stays inside the width-padded
+/// store by the identity (n_blocks-1)*width + (width-1) == n_blocks*width
+/// - 1. y is zero-filled before the kernel (atomic accumulation).
+inline analysis::ShapeClass bccoo_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym n_blocks = an::Sym::param("n_blocks");
+  const an::Sym width = an::Sym::param("width");
+  an::ShapeClass sc;
+  sc.engine = "bccoo";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("n_blocks", 0, "packed blocks"),
+               an::param("width", 1, "entries per block"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("bccoo.row", n_blocks,
+                     {an::Sym(0), n_rows - an::Sym(1)},
+                     "block row ids, sorted non-decreasing", true),
+      an::index_span("bccoo.col", n_blocks,
+                     {an::Sym(0), n_cols - an::Sym(1)},
+                     "block base columns (delta decode stays in range)"),
+      an::data_span("bccoo.delta", n_blocks * width, "byte column deltas"),
+      an::data_span("bccoo.val", n_blocks * width, "block values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

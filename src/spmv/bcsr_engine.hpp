@@ -10,6 +10,7 @@
 #include <array>
 #include <map>
 
+#include "analysis/shape.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
 
@@ -239,5 +240,41 @@ class BcsrEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> bcol_dev_;
   vgpu::DeviceBuffer<T> bval_dev_;
 };
+
+/// Shape class of the BCSR kernel: a block-CSR structure over bs x bs
+/// tiles. The tile-value slot bidx*bs^2 + sub*bs + j stays inside the
+/// n_blocks*bs^2 store by cancellation ((n_blocks-1)*bs^2 + (bs-1)*bs +
+/// (bs-1) == n_blocks*bs^2 - 1, with bs symbolic in [1, 8]); the x index
+/// bcol*bs + j is additionally edge-guarded by the kernel's xs.size()
+/// mask, which the model mirrors as an interval refinement.
+inline analysis::ShapeClass bcsr_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym nbr = an::Sym::param("nbr");
+  const an::Sym n_blocks = an::Sym::param("n_blocks");
+  const an::Sym bs = an::Sym::param("bs");
+  const an::Sym n_bcols = an::Sym::param("n_bcols");
+  an::ShapeClass sc;
+  sc.engine = "bcsr";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("nbr", 0, "block rows"),
+               an::param("n_blocks", 0, "stored bs x bs tiles"),
+               an::param("bs", 1, 8, "tile edge (ACSR_REQUIRE'd <= 8)"),
+               an::param("n_bcols", 0, "block columns"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("bcsr.roff", nbr + an::Sym(1), {an::Sym(0), n_blocks},
+                     "block-row pointers", true),
+      an::index_span("bcsr.col", n_blocks,
+                     {an::Sym(0), n_bcols - an::Sym(1)},
+                     "tile block-column ids"),
+      an::data_span("bcsr.val", n_blocks * bs * bs, "dense tile values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

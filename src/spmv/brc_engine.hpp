@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/shape.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
 
@@ -210,5 +211,46 @@ class BrcEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> scol_dev_;
   vgpu::DeviceBuffer<T> sval_dev_;
 };
+
+/// Shape class of the BRC kernel: a permutation scattering results back
+/// (injective, so the y store is race-free), per-block offset/width
+/// metadata, and a slab whose layout invariant — every block's 32-row
+/// strip [boff[b], boff[b] + 32*bwidth[b]) lies inside the slab — is
+/// declared by decomposing the slab size as slab_base + 32*block_w +
+/// slab_rest for a generic block (boff[b] = slab_base, bwidth[b] =
+/// block_w, slab_rest >= 0 the space after the strip). The verifier's
+/// strip bound then holds for *every* block by cancellation.
+inline analysis::ShapeClass brc_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym n_blocks = an::Sym::param("n_blocks");
+  const an::Sym slab_base = an::Sym::param("slab_base");
+  const an::Sym block_w = an::Sym::param("block_w");
+  const an::Sym slab_rest = an::Sym::param("slab_rest");
+  const an::Sym slab =
+      slab_base + an::Sym(32) * block_w + slab_rest;
+  an::ShapeClass sc;
+  sc.engine = "brc";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("n_blocks", 0, "32-row blocks"),
+               an::param("slab_base", 0, "generic block's slab offset"),
+               an::param("block_w", 0, "generic block's width"),
+               an::param("slab_rest", 0, "slab slots after the strip"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("brc.perm", n_rows, {an::Sym(0), n_rows - an::Sym(1)},
+                     "row permutation (sorted by length)", false, true),
+      an::data_span("brc.boff", n_blocks, "per-block slab offsets"),
+      an::data_span("brc.bwidth", n_blocks, "per-block widths"),
+      an::index_span("brc.col", slab, {an::Sym(-1), n_cols - an::Sym(1)},
+                     "slab columns (-1 = padding)"),
+      an::data_span("brc.val", slab, "slab values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -4,6 +4,7 @@
 // into y with atomics. Used both standalone and as the tail of HYB.
 #pragma once
 
+#include "analysis/shape.hpp"
 #include "mat/coo.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -134,5 +135,33 @@ class CooEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> col_dev_;
   vgpu::DeviceBuffer<T> val_dev_;
 };
+
+/// Shape class of coo_segmented_warp's inputs: three parallel length-nnz
+/// arrays with row ids sorted non-decreasing (the segmented reduction's
+/// precondition) and column ids in range. y must be zero-filled before
+/// the kernel runs — segment tails accumulate with atomic RMWs, which
+/// read the previous value.
+inline analysis::ShapeClass coo_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym nnz = an::Sym::param("nnz");
+  an::ShapeClass sc;
+  sc.engine = "coo";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("nnz", 0, "stored non-zeros"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("coo.row", nnz, {an::Sym(0), n_rows - an::Sym(1)},
+                     "row ids, sorted non-decreasing", true),
+      an::index_span("coo.col", nnz, {an::Sym(0), n_cols - an::Sym(1)},
+                     "column indices"),
+      an::data_span("coo.val", nnz, "non-zero values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

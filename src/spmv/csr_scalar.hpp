@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "analysis/shape.hpp"
 #include "spmv/csr_device.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -124,5 +125,34 @@ class CsrScalarEngine final : public EngineBase<T> {
   mat::Csr<T> host_;
   CsrDevice<T> dev_csr_;
 };
+
+/// Shape class of csr_scalar_warp's inputs (static verifier contract, see
+/// docs/ANALYSIS.md): a well-formed CSR matrix. The extents arrays are the
+/// two length-n_rows windows of the monotone row-pointer array, so every
+/// row's [start, end) cursor range lies inside [0, nnz].
+inline analysis::ShapeClass csr_scalar_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym nnz = an::Sym::param("nnz");
+  an::ShapeClass sc;
+  sc.engine = "csr-scalar";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("nnz", 0, "stored non-zeros"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("row_start", n_rows, {an::Sym(0), nnz},
+                     "per-row begin offsets (row_off[0..rows))", true),
+      an::index_span("row_end", n_rows, {an::Sym(0), nnz},
+                     "per-row end offsets (row_off[1..rows])", true),
+      an::index_span("col_idx", nnz, {an::Sym(0), n_cols - an::Sym(1)},
+                     "column indices"),
+      an::data_span("vals", nnz, "non-zero values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "analysis/shape.hpp"
 #include "spmv/csr_device.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -186,5 +187,36 @@ class CsrVectorEngine final : public EngineBase<T> {
   CsrDevice<T> dev_csr_;
   int vec_size_ = 2;
 };
+
+/// Shape class of csr_vector_warp in its plain-CSR configuration (empty
+/// row_map: slot == row id, map_size == n_rows). Slot ownership is
+/// exclusive — exactly one vector group per row, and only the group head
+/// (sub == 0) stores — so the y store is race-free by construction; the
+/// verifier model declares the stored row indices pairwise-distinct on
+/// that ground (docs/ANALYSIS.md).
+inline analysis::ShapeClass csr_vector_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym nnz = an::Sym::param("nnz");
+  an::ShapeClass sc;
+  sc.engine = "csr-vector";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("nnz", 0, "stored non-zeros"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("row_start", n_rows, {an::Sym(0), nnz},
+                     "per-row begin offsets", true),
+      an::index_span("row_end", n_rows, {an::Sym(0), nnz},
+                     "per-row end offsets", true),
+      an::index_span("col_idx", nnz, {an::Sym(0), n_cols - an::Sym(1)},
+                     "column indices"),
+      an::data_span("vals", nnz, "non-zero values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "analysis/shape.hpp"
 #include "mat/ell.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -110,5 +111,33 @@ class EllEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> col_dev_;
   vgpu::DeviceBuffer<T> val_dev_;
 };
+
+/// Shape class of ell_warp's inputs: a column-major width x n_rows slab
+/// whose column entries are either real indices in [0, n_cols-1] or the
+/// kPad sentinel (-1, masked off before the x gather). Slot j*n_rows + r
+/// stays inside the slab for every j < width, r < n_rows — the polynomial
+/// identity (width-1)*n_rows + (n_rows-1) == width*n_rows - 1 the
+/// verifier discharges by cancellation.
+inline analysis::ShapeClass ell_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym width = an::Sym::param("width");
+  an::ShapeClass sc;
+  sc.engine = "ell";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("width", 0, "padded slab width"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("ell.col", width * n_rows,
+                     {an::Sym(-1), n_cols - an::Sym(1)},
+                     "slab column indices (-1 = padding)"),
+      an::data_span("ell.val", width * n_rows, "slab values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "analysis/shape.hpp"
 #include "mat/hyb.hpp"
 #include "spmv/coo_engine.hpp"
 #include "spmv/ell_engine.hpp"
@@ -125,5 +126,40 @@ class HybEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> coo_col_;
   vgpu::DeviceBuffer<T> coo_val_;
 };
+
+/// Shape class of the HYB launch pair: an ELL slab covering every row
+/// (the first kernel's unconditional store defines y) followed by a
+/// row-sorted COO tail that accumulates on top with atomics. The launch
+/// boundary between the two kernels is what makes the tail's atomic RMW
+/// of y well-defined.
+inline analysis::ShapeClass hyb_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym ell_width = an::Sym::param("ell_width");
+  const an::Sym tail_nnz = an::Sym::param("tail_nnz");
+  an::ShapeClass sc;
+  sc.engine = "hyb";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("ell_width", 0, "ELL slab width"),
+               an::param("tail_nnz", 0, "COO tail entries"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("hyb.ell.col", ell_width * n_rows,
+                     {an::Sym(-1), n_cols - an::Sym(1)},
+                     "ELL slab columns (-1 = padding)"),
+      an::data_span("hyb.ell.val", ell_width * n_rows, "ELL slab values"),
+      an::index_span("hyb.coo.row", tail_nnz,
+                     {an::Sym(0), n_rows - an::Sym(1)},
+                     "tail row ids, sorted non-decreasing", true),
+      an::index_span("hyb.coo.col", tail_nnz,
+                     {an::Sym(0), n_cols - an::Sym(1)}, "tail columns"),
+      an::data_span("hyb.coo.val", tail_nnz, "tail values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

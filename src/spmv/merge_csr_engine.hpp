@@ -15,6 +15,7 @@
 
 #include <array>
 
+#include "analysis/shape.hpp"
 #include "spmv/csr_device.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
@@ -264,5 +265,36 @@ class MergeCsrEngine final : public EngineBase<T> {
   CsrDevice<T> dev_csr_;
   int ipl_;
 };
+
+/// Shape class of merge_warp: plain CSR viewed as a merge list of n_rows
+/// row-end markers and nnz non-zeros. The merge-path invariant the model
+/// declares (docs/ANALYSIS.md): a lane whose chunk begins before the end
+/// of the path (begin < n_rows + nnz) lands on a row coordinate r <
+/// n_rows — row n_rows-1's end marker is the last path item, so only
+/// exhausted lanes reach r == n_rows, and those drop out of every mask.
+/// Likewise the staged nnz window [i_lo, i_hi) is clipped to nnz by
+/// construction. Row ends are monotone with row_end[n_rows-1] == nnz.
+inline analysis::ShapeClass merge_csr_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym nnz = an::Sym::param("nnz");
+  an::ShapeClass sc;
+  sc.engine = "merge-csr";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("nnz", 0, "stored non-zeros"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("merge.row_end", n_rows, {an::Sym(0), nnz},
+                     "row end offsets (row_off[1..rows])", true),
+      an::index_span("col_idx", nnz, {an::Sym(0), n_cols - an::Sym(1)},
+                     "column indices"),
+      an::data_span("vals", nnz, "non-zero values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/shape.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
 
@@ -214,5 +215,42 @@ class SellEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> scol_dev_;
   vgpu::DeviceBuffer<T> sval_dev_;
 };
+
+/// Shape class of the SELL-C-sigma kernel: structurally BRC's (window-
+/// local instead of global sort changes the *values* of the permutation,
+/// not its injectivity, and the slice decomposition slab_base +
+/// 32*slice_w + slab_rest is the same strip-in-slab invariant).
+inline analysis::ShapeClass sell_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym n_slices = an::Sym::param("n_slices");
+  const an::Sym slab_base = an::Sym::param("slab_base");
+  const an::Sym slice_w = an::Sym::param("slice_w");
+  const an::Sym slab_rest = an::Sym::param("slab_rest");
+  const an::Sym slab = slab_base + an::Sym(32) * slice_w + slab_rest;
+  an::ShapeClass sc;
+  sc.engine = "sell";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("n_slices", 0, "32-row slices"),
+               an::param("slab_base", 0, "generic slice's slab offset"),
+               an::param("slice_w", 0, "generic slice's width"),
+               an::param("slab_rest", 0, "slab slots after the strip"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("sell.perm", n_rows,
+                     {an::Sym(0), n_rows - an::Sym(1)},
+                     "row permutation (window-local sort)", false, true),
+      an::data_span("sell.soff", n_slices, "per-slice slab offsets"),
+      an::data_span("sell.swidth", n_slices, "per-slice widths"),
+      an::index_span("sell.col", slab, {an::Sym(-1), n_cols - an::Sym(1)},
+                     "slab columns (-1 = padding)"),
+      an::data_span("sell.val", slab, "slab values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <array>
 
+#include "analysis/shape.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/lane_array.hpp"
 
@@ -235,5 +236,46 @@ class SicEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<mat::index_t> scol_dev_;
   vgpu::DeviceBuffer<T> sval_dev_;
 };
+
+/// Shape class of the SIC kernel. Same slab decomposition as BRC
+/// (slab_base + 32*block_w + slab_rest for a generic block); the row map
+/// is sic.rows with -1 padding at segment ends. Each non-empty row
+/// appears in exactly one slot, so the non-negative entries are pairwise
+/// distinct (the sense in which the span is declared injective — pad
+/// slots are masked off before the store).
+inline analysis::ShapeClass sic_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym n_cols = an::Sym::param("n_cols");
+  const an::Sym n_blocks = an::Sym::param("n_blocks");
+  const an::Sym n_slots = an::Sym::param("n_slots");
+  const an::Sym slab_base = an::Sym::param("slab_base");
+  const an::Sym block_w = an::Sym::param("block_w");
+  const an::Sym slab_rest = an::Sym::param("slab_rest");
+  const an::Sym slab = slab_base + an::Sym(32) * block_w + slab_rest;
+  an::ShapeClass sc;
+  sc.engine = "sic";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("n_cols", 0, "matrix columns"),
+               an::param("n_blocks", 0, "32-row interleave blocks"),
+               an::param("n_slots", 0, "row slots incl. segment padding"),
+               an::param("slab_base", 0, "generic block's slab offset"),
+               an::param("block_w", 0, "generic block's width"),
+               an::param("slab_rest", 0, "slab slots after the strip"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("sic.rows", n_slots,
+                     {an::Sym(-1), n_rows - an::Sym(1)},
+                     "row of each slot (-1 = segment padding)", false, true),
+      an::data_span("sic.boff", n_blocks, "per-block slab offsets"),
+      an::data_span("sic.bwidth", n_blocks, "per-block widths"),
+      an::index_span("sic.col", slab, {an::Sym(-1), n_cols - an::Sym(1)},
+                     "slab columns (-1 = padding)"),
+      an::data_span("sic.val", slab, "slab values"),
+      an::data_span("x", n_cols, "input vector"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "analysis/shape.hpp"
 #include "spmv/coo_engine.hpp"
 #include "spmv/engine.hpp"
 
@@ -251,5 +252,39 @@ class TcooEngine final : public EngineBase<T> {
   vgpu::DeviceBuffer<T> val_dev_;
   vgpu::DeviceBuffer<long long> off_dev_;
 };
+
+/// Shape class of one generic TCOO tile launch: the tile's entries (a
+/// contiguous bucket of tile_n non-zeros), its x slice of xw elements
+/// starting at column col_base, and the partition invariant that every
+/// entry's column lies in [col_base, col_base + xw - 1] — so the rebased
+/// column c - col_base indexes the slice in bounds. The per-SpMV launch
+/// sequence (zero-fill, then one such launch per tile accumulating with
+/// atomics) is safe for any tile count because the proof is per generic
+/// tile.
+inline analysis::ShapeClass tcoo_shape_class() {
+  namespace an = acsr::analysis;
+  const an::Sym n_rows = an::Sym::param("n_rows");
+  const an::Sym tile_n = an::Sym::param("tile_n");
+  const an::Sym xw = an::Sym::param("xw");
+  const an::Sym col_base = an::Sym::param("col_base");
+  an::ShapeClass sc;
+  sc.engine = "tcoo";
+  sc.params = {an::param("n_rows", 0, "matrix rows"),
+               an::param("tile_n", 0, "entries in the generic tile"),
+               an::param("xw", 0, "tile's x-slice width"),
+               an::param("col_base", 0, "tile's first column"),
+               an::param("grid", 1, "launch grid dim")};
+  sc.spans = {
+      an::index_span("tcoo.row", tile_n, {an::Sym(0), n_rows - an::Sym(1)},
+                     "tile row ids, sorted non-decreasing", true),
+      an::index_span("tcoo.col", tile_n,
+                     {col_base, col_base + xw - an::Sym(1)},
+                     "tile columns (partition invariant)"),
+      an::data_span("tcoo.val", tile_n, "tile values"),
+      an::data_span("x_tile", xw, "x slice for this tile"),
+      an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+  };
+  return sc;
+}
 
 }  // namespace acsr::spmv

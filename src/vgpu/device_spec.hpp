@@ -30,6 +30,10 @@ struct DeviceSpec {
   int warp_size = 32;
   int max_threads_per_block = 1024;
   int max_resident_warps_per_sm = 64;
+  // Per-block shared-memory budget (the 48 KiB configuration on every
+  // Table II part). Consumed by the static verifier's launch-config check
+  // (src/analysis); the executor's SharedMemArena chunks match it.
+  std::size_t shared_mem_per_block_bytes = 48 * 1024;
 
   // Issue model: warp-instructions retired per cycle per SM
   // (schedulers x dispatch units, derated for dual-issue limits).

@@ -82,6 +82,19 @@ struct LaneArray {
   }
 };
 
+/// Inclusive element range [first, last] touched by an affine access
+/// idx[l] = base + l * step over the n-lane active prefix (step >= 0,
+/// n >= 1). Templated on the index value domain: instantiated with
+/// `long long` by the executor's analytic fast path (gather_affine /
+/// scatter_affine / tex_affine in warp.hpp) and with `analysis::Sym` by
+/// the static verifier's abstract interpreter, so the concrete and the
+/// abstract machines share one definition of a gather's extent.
+template <class V>
+inline std::pair<V, V> affine_touch_range(const V& base, const V& step,
+                                          int n) {
+  return {base, base + step * V(n - 1)};
+}
+
 /// Detect an affine index pattern across the first n lanes:
 /// idx[l] == base + l * step for l in [0, n). This is the shape of every
 /// regular gather in the SpMV kernels — iota thread ids, the CSR

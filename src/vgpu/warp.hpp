@@ -680,6 +680,7 @@ class Warp {
   // Called by Block::each_warp after the warp body completes.
   void finish(int sm) {
     env_.counters.warps += 1;
+    env_.counters.issue_cycles += issue_;
     env_.sm_issue_cycles[static_cast<std::size_t>(sm)] +=
         static_cast<double>(issue_);
     const double lat =
@@ -741,8 +742,8 @@ class Warp {
   LaneArray<T> gather_affine(DeviceSpan<const T> s, long long base,
                              long long step, int n, bool allow_group) {
     LaneArray<T> r{};
-    const long long last = base + step * (n - 1);
-    s.check_range(base, last);
+    const auto [first, last] = affine_touch_range<long long>(base, step, n);
+    s.check_range(first, last);
     const T* p = s.data();
     if (step == 1) {
       std::copy(p + base, p + base + n, r.v.begin());
@@ -766,8 +767,8 @@ class Warp {
   template <class T>
   void scatter_affine(DeviceSpan<T> s, long long base, long long step, int n,
                       const LaneArray<T>& v) {
-    const long long last = base + step * (n - 1);
-    s.check_range(base, last);
+    const auto [first, last] = affine_touch_range<long long>(base, step, n);
+    s.check_range(first, last);
     T* p = s.data();
     if (step == 1) {
       std::copy(v.v.begin(), v.v.begin() + n, p + base);
@@ -790,8 +791,8 @@ class Warp {
   LaneArray<T> tex_affine(DeviceSpan<const T> s, long long base,
                           long long step, int n) {
     LaneArray<T> r{};
-    const long long last = base + step * (n - 1);
-    s.check_range(base, last);
+    const auto [first, last] = affine_touch_range<long long>(base, step, n);
+    s.check_range(first, last);
     const T* p = s.data();
     if (step == 1) {
       std::copy(p + base, p + base + n, r.v.begin());
@@ -912,6 +913,8 @@ class Block {
 
   /// Explicit barrier marker: charges one issue per warp.
   void sync() {
+    env_.counters.issue_cycles +=
+        static_cast<std::uint64_t>(warps_per_block());
     env_.sm_issue_cycles[static_cast<std::size_t>(sm_)] +=
         static_cast<double>(warps_per_block());
   }

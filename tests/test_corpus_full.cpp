@@ -74,6 +74,6 @@ TEST_P(CorpusEntrySweep, AcsrRunsCorrectly) {
 INSTANTIATE_TEST_SUITE_P(
     AllSeventeen, CorpusEntrySweep,
     ::testing::ValuesIn(acsr::graph::table1_corpus()),
-    [](const auto& info) { return info.param.abbrev; });
+    [](const auto& tpi) { return tpi.param.abbrev; });
 
 }  // namespace

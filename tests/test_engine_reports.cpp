@@ -90,8 +90,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("csr-scalar", "csr", "csr-vector", "ell", "coo",
                       "hyb", "brc", "bccoo", "tcoo", "sic", "bcsr", "sell",
                       "merge-csr", "acsr", "acsr-binning"),
-    [](const auto& info) {
-      std::string n = info.param;
+    [](const auto& tpi) {
+      std::string n = tpi.param;
       for (auto& c : n)
         if (c == '-') c = '_';
       return n;

@@ -186,8 +186,8 @@ INSTANTIATE_TEST_SUITE_P(
                           "acsr", "acsr-binning"),
         ::testing::Values("powerlaw", "uniform", "rmat", "empty-rows",
                           "zero", "all-empty", "dense-row")),
-    [](const auto& info) {
-      std::string n = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const auto& tpi) {
+      std::string n = std::get<0>(tpi.param) + "_" + std::get<1>(tpi.param);
       for (auto& c : n)
         if (c == '-') c = '_';
       return n;

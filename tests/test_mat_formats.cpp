@@ -139,7 +139,9 @@ TEST(Csr, RowNormalizeMakesRowsStochastic) {
     for (offset_t i = m.row_off[static_cast<std::size_t>(r)];
          i < m.row_off[static_cast<std::size_t>(r) + 1]; ++i)
       s += m.vals[static_cast<std::size_t>(i)];
-    if (m.row_nnz(r) > 0) EXPECT_NEAR(s, 1.0, 1e-12);
+    if (m.row_nnz(r) > 0) {
+      EXPECT_NEAR(s, 1.0, 1e-12);
+    }
   }
 }
 
