@@ -10,17 +10,26 @@
 // contract is asserted by tests/test_metering_invariance.cpp; this bench
 // only measures speed.
 //
-// Usage: bench_wallclock [--quick] [google-benchmark flags]
-//   --quick   smoke mode: ~25x shorter measurement windows (CI gate)
+// Usage: bench_wallclock [--quick] [--metrics_out FILE] [gbench flags]
+//   --quick         smoke mode: ~25x shorter measurement windows (CI gate)
+//   --metrics_out   after the timed run, replay each engine once under the
+//                   profiler and write the per-metric JSON document
+//                   (schema acsr-prof/v1, see docs/OBSERVABILITY.md). The
+//                   replay happens after measurement, so it cannot perturb
+//                   the wall-clock numbers.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/factory.hpp"
 #include "graph/corpus.hpp"
+#include "prof/capture.hpp"
+#include "prof/report.hpp"
 #include "vgpu/device.hpp"
 
 namespace {
@@ -128,12 +137,13 @@ void BM_WarpGatherScatter(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 
+// The headline executor benchmark the ≥2x acceptance gate tracks:
+// CSR-scalar over the scaled wikipedia graph (power-law, the paper's
+// central workload). The --metrics_out replay profiles the same set.
+const char* const kEngines[] = {"csr-scalar", "csr-vector", "csr",
+                                "coo",        "hyb",        "acsr"};
+
 void register_benches() {
-  // The headline executor benchmark the ≥2x acceptance gate tracks:
-  // CSR-scalar over the scaled wikipedia graph (power-law, the paper's
-  // central workload).
-  static const char* const kEngines[] = {"csr-scalar", "csr-vector", "csr",
-                                         "coo",        "hyb",        "acsr"};
   for (const char* e : kEngines) {
     benchmark::RegisterBenchmark(
         (std::string("spmv_executor/") + e + "/WIK").c_str(),
@@ -150,6 +160,37 @@ void register_benches() {
       ->Unit(benchmark::kMillisecond);
 }
 
+/// Post-measurement profiled replay: one SpMV per benched engine/matrix
+/// pair under the profiler, folded into one metrics document keyed
+/// "<engine>/<matrix>".
+int write_metrics(const std::string& path) {
+  acsr::prof::set_profiler_enabled(true);
+  acsr::prof::Profiler& prof = acsr::prof::Profiler::instance();
+  prof.clear();
+  auto one = [&](const char* engine, const char* matrix) {
+    acsr::prof::ScopedContext ctx(std::string(engine) + "/" + matrix);
+    Device dev(titan_spec());
+    auto e = make_engine<double>(engine, dev, corpus_matrix(matrix),
+                                 engine_config());
+    std::vector<double> x(static_cast<std::size_t>(e->cols()), 1.0);
+    std::vector<double> y;
+    e->simulate(x, y);
+  };
+  for (const char* e : kEngines) one(e, "WIK");
+  one("csr-scalar", "ENR");
+  const acsr::json::Value doc =
+      acsr::prof::metrics_doc(prof.launches(), prof.retry_backoff_s());
+  acsr::prof::set_profiler_enabled(false);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_wallclock: cannot write " << path << "\n";
+    return 1;
+  }
+  out << acsr::json::dump(doc, 1) << "\n";
+  std::cout << "bench_wallclock: wrote per-metric JSON to " << path << "\n";
+  return out.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,9 +199,18 @@ int main(int argc, char** argv) {
   std::vector<char*> args;
   static char min_time[] = "--benchmark_min_time=0.02";
   bool quick = false;
+  std::string metrics_out;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics_out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
       continue;
     }
     args.push_back(argv[i]);
@@ -172,5 +222,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_out.empty()) return write_metrics(metrics_out);
   return 0;
 }

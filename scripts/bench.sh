@@ -5,9 +5,16 @@
 # diff executor throughput (see docs/PERF.md).
 #
 # Usage: scripts/bench.sh [build_dir]
-#   ACSR_BENCH_QUICK=1   smoke mode: ~25x shorter measurement windows; the
-#                        result is stamped "quick" and numbers are noisy —
-#                        use only as a does-it-run CI gate.
+#   ACSR_BENCH_QUICK=1      smoke mode: ~25x shorter measurement windows; the
+#                           result is stamped "quick" and numbers are noisy —
+#                           use only as a does-it-run CI gate.
+#   ACSR_BENCH_REBASELINE=1 re-record the baseline section from this run
+#                           (use after intentional model changes, or to fix
+#                           a mode mismatch).
+#
+# Baseline and current sections are stamped with the mode they were measured
+# in; the script refuses to emit speedups across modes (quick-vs-full diffs
+# once produced a phantom 14% acsr regression — see docs/PERF.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,8 +39,9 @@ trap 'rm -f "$raw"' EXIT
   --benchmark_out="$raw" --benchmark_out_format=json \
   --benchmark_counters_tabular=true
 
-MODE="$mode" RAW="$raw" OUT="$out" python3 - <<'PY'
-import json, os, subprocess
+MODE="$mode" RAW="$raw" OUT="$out" \
+REBASELINE="${ACSR_BENCH_REBASELINE:-0}" python3 - <<'PY'
+import json, os, subprocess, sys
 
 raw = json.load(open(os.environ["RAW"]))
 out_path = os.environ["OUT"]
@@ -59,9 +67,24 @@ if os.path.exists(out_path):
 # carried forward verbatim; only the current section is refreshed.
 doc.setdefault("unit", "ms (real time per simulated SpMV / launch)")
 doc.setdefault("spec", "GTX Titan preset, default corpus scale")
-if "baseline" not in doc:
+if "baseline" not in doc or os.environ.get("REBASELINE") == "1":
     doc["baseline"] = {"commit": commit, "mode": mode, "benchmarks": current}
 doc["current"] = {"commit": commit, "mode": mode, "benchmarks": current}
+
+# A quick-mode current diffed against a full-mode baseline (or vice versa)
+# compares different measurement windows, not different code. Refuse to
+# fold mismatched results in — the run still served as a does-it-run
+# smoke, but BENCH_wallclock.json keeps its consistent pair.
+base_mode = doc["baseline"].get("mode", "full")
+if base_mode != mode:
+    print(
+        f"bench.sh: baseline is {base_mode!r} mode but this run is {mode!r} "
+        f"— refusing to diff across modes; {out_path} left untouched.\n"
+        f"bench.sh: re-run with the matching ACSR_BENCH_QUICK setting, or "
+        f"set ACSR_BENCH_REBASELINE=1 to re-record the baseline in "
+        f"{mode!r} mode."
+    )
+    sys.exit(0)
 
 base = doc["baseline"]["benchmarks"]
 doc["speedup"] = {

@@ -3,10 +3,12 @@
 # wall-clock is a tracked quantity, see docs/PERF.md), the cross-engine
 # differential fuzz harness at a fixed seed, the fault-injection matrix
 # (one representative ACSR_FAULTS plan per fault class through the
-# FaultEnv smoke — see docs/RESILIENCE.md — plus ctest -L faults), then a
-# quick wall-clock bench smoke that refreshes BENCH_wallclock.json at the
-# repo root. Fails on the first broken step. See docs/TESTING.md for the
-# label scheme.
+# FaultEnv smoke — see docs/RESILIENCE.md — plus ctest -L faults), a
+# profiler smoke (trace JSON validated, model metrics diffed against the
+# committed PROF_baseline.json — see docs/OBSERVABILITY.md), then a quick
+# wall-clock bench smoke (does-it-run only; bench.sh refuses to fold
+# quick-mode numbers into the full-mode BENCH_wallclock.json). Fails on
+# the first broken step. See docs/TESTING.md for the label scheme.
 #
 # Usage: scripts/check.sh [build_dir]
 set -euo pipefail
@@ -68,6 +70,31 @@ for plan in "${fault_plans[@]}"; do
     --gtest_filter='FaultEnv.*' --gtest_brief=1
 done
 ctest --test-dir "$build" -L faults --output-on-failure
+
+echo "== profiler smoke (acsr_prof trace + metric drift vs PROF_baseline.json)"
+prof_trace="$(mktemp --suffix=.json)"
+trap 'rm -f "$prof_trace"' EXIT
+# One engine exercises the whole pipeline: env-gated enable, per-SM/child
+# trace export, schema-valid JSON.
+ACSR_TRACE="$prof_trace" "$build/tools/acsr_prof" --quiet --engine acsr
+python3 - "$prof_trace" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+for ev in events:
+    assert {"name", "ph", "pid", "tid"} <= ev.keys(), ev
+print(f"   trace ok: {len(events)} events")
+PY
+# Model metrics are bit-reproducible, so drift vs the committed baseline
+# means the cost model changed. Warn loudly (non-fatal: re-record the
+# baseline with `tools/acsr_prof --out PROF_baseline.json` when the
+# change is intentional).
+if ! "$build/tools/acsr_prof" --quiet --diff PROF_baseline.json; then
+  echo "check.sh: WARNING: profiler metrics drifted >10% vs PROF_baseline.json"
+  echo "check.sh: (intentional model change? re-record with:" \
+       "$build/tools/acsr_prof --out PROF_baseline.json)"
+fi
 
 echo "== wall-clock bench smoke (bench_wallclock --quick)"
 ACSR_BENCH_QUICK=1 scripts/bench.sh "$build"

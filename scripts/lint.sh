@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo lint gate (run by scripts/check.sh as part of the analysis stage).
-# Three rules the static verifier's soundness story leans on:
+# Four rules the static verifier's and profiler's soundness stories lean on:
 #
 #   1. Every header under src/ carries #pragma once.
 #   2. No raw .data() escapes outside the two files allowed to flatten a
@@ -12,6 +12,9 @@
 #      somewhere in the engine (warp.hpp / device.cpp / kernel.cpp), so
 #      the executor fast path and the reference path cannot silently
 #      diverge on a field.
+#   4. Observability parity: every Counters field has a registered
+#      passthrough metric ("counters.<field>") in src/prof/metrics.cpp, so
+#      a new counter cannot ship invisible to acsr_prof / --diff.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -56,6 +59,18 @@ for f in $fields; do
   if [ "$metered" -lt 1 ]; then
     echo "lint: Counters::$f is never metered" \
          "(warp.hpp / device.cpp / kernel.cpp)"
+    fail=1
+  fi
+done
+
+# --- rule 4: every Counters field has a registered metric ---------------------
+# Passthroughs are registered either via the ACSR_COUNTER_METRIC(field, ...)
+# macro or a literal "counters.<field>" name.
+for f in $fields; do
+  if ! grep -Eq "ACSR_COUNTER_METRIC\($f[,)]|counters\.$f\b" \
+       src/prof/metrics.cpp; then
+    echo "lint: Counters::$f has no 'counters.$f' passthrough metric" \
+         "registered in src/prof/metrics.cpp"
     fail=1
   fi
 done

@@ -7,6 +7,7 @@
 
 #include "apps/power_method.hpp"
 #include "mat/csr.hpp"
+#include "prof/prof.hpp"
 
 namespace acsr::apps {
 
@@ -46,6 +47,7 @@ BfsResult<T> bfs(spmv::SpmvEngine<T>& engine, mat::index_t source) {
   for (int depth = 1; static_cast<std::size_t>(depth) <= n; ++depth) {
     engine.apply(frontier, reached);
     res.total_s += spmv_s + aux_s;
+    prof::phase_marker("app", "bfs:level", spmv_s + aux_s);
     bool any = false;
     std::fill(frontier.begin(), frontier.end(), T{0});
     for (std::size_t v = 0; v < n; ++v) {

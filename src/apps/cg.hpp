@@ -8,6 +8,7 @@
 #include "apps/checkpoint.hpp"
 #include "apps/power_method.hpp"
 #include "mat/csr.hpp"
+#include "prof/prof.hpp"
 
 namespace acsr::apps {
 
@@ -74,6 +75,7 @@ CgResult<T> conjugate_gradient(spmv::SpmvEngine<T>& engine,
     res.iterations = k + 1;
     res.total_s += spmv_s + aux_s;
     res.spmv_s += spmv_s;
+    prof::phase_marker("app", "cg:iteration", spmv_s + aux_s);
     if (std::sqrt(rr_new) / b_norm < cfg.tolerance) {
       rr = rr_new;
       res.converged = true;
@@ -143,6 +145,7 @@ CgResult<T> conjugate_gradient_checkpointed(core::ResilientEngine<T>& engine,
     }
     res.total_s += t + aux_s;
     res.spmv_s += t;
+    prof::phase_marker("app", "cg:iteration", t + aux_s);
     const double pap = dot(st.p, ap);
     if (!std::isfinite(pap) || !all_finite(ap)) {
       engine.scrub();

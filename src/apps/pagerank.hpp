@@ -6,6 +6,7 @@
 #include "apps/checkpoint.hpp"
 #include "apps/power_method.hpp"
 #include "mat/csr.hpp"
+#include "prof/prof.hpp"
 
 namespace acsr::apps {
 
@@ -65,6 +66,7 @@ AppResult<T> pagerank(spmv::SpmvEngine<T>& engine, const PageRankConfig& cfg,
     res.iterations = k + 1;
     res.total_s += spmv_s + aux_s;
     res.spmv_s += spmv_s;
+    prof::phase_marker("app", "pagerank:iteration", spmv_s + aux_s);
     const double dist = euclidean_distance(y, pr);
     pr.swap(y);
     if (dist < cfg.iter.epsilon) {
@@ -116,6 +118,7 @@ AppResult<T> pagerank_checkpointed(core::ResilientEngine<T>& engine,
     }
     res.total_s += t + aux_s;  // wasted attempts still cost real time
     res.spmv_s += t;
+    prof::phase_marker("app", "pagerank:iteration", t + aux_s);
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       y[i] = base + static_cast<T>(cfg.damping) * y[i];

@@ -20,6 +20,7 @@
 
 #include "analysis/shape.hpp"
 #include "core/binning.hpp"
+#include "prof/prof.hpp"
 #include "spmv/csr_device.hpp"
 #include "spmv/csr_vector.hpp"
 #include "spmv/engine.hpp"
@@ -85,6 +86,11 @@ class AcsrLauncher {
       cfg.name = "acsr_bin" + std::to_string(i);
       cfg.block_dim = 128;
       cfg.grid_dim = std::max<long long>(1, (warps + 3) / 4);
+      if (prof::profiler_enabled()) [[unlikely]]
+        prof::Profiler::instance().annotate_next_launch(
+            "bin=" + std::to_string(i) +
+            " rows=" + std::to_string(rows_in_bin.size()) +
+            " vector_size=" + std::to_string(v));
       auto row_map = bin_rows_dev_[i].cspan();
       do_launch(cfg, [&](vgpu::Warp& w) {
         const long long first = w.global_warp() * rows_per_warp;
@@ -102,6 +108,9 @@ class AcsrLauncher {
       cfg.name = "acsr_dp_parent";
       cfg.block_dim = 32;
       cfg.grid_dim = (n_dp + 31) / 32;
+      if (prof::profiler_enabled()) [[unlikely]]
+        prof::Profiler::instance().annotate_next_launch(
+            "dp_rows=" + std::to_string(n_dp));
       auto dp_rows = dp_rows_dev_.cspan();
       const int thread_load = opt_.thread_load;
       do_launch(cfg, [&](vgpu::Warp& w) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/factory.hpp"
+#include "prof/prof.hpp"
 #include "vgpu/fault.hpp"
 #include "vgpu/timeline.hpp"
 
@@ -123,6 +124,8 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
         penalty_s += backoff;
         timeline_.enqueue(stream_, backoff,
                           "recovery:retry backoff " + where_of(e));
+        if (prof::profiler_enabled()) [[unlikely]]
+          prof::Profiler::instance().add_retry_backoff(backoff, where_of(e));
         ++retries_;
         backoff *= opt_.retry.backoff_growth;
       } catch (const vgpu::DataCorruption& e) {
@@ -182,7 +185,12 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
     return "'" + e.where() + "' on device '" + e.device() + "'";
   }
 
-  void note(const std::string& tag) { timeline_.enqueue(stream_, 0.0, tag); }
+  void note(const std::string& tag) {
+    timeline_.enqueue(stream_, 0.0, tag);
+    // Mirror fault/recovery marks into the trace as instant events.
+    if (prof::profiler_enabled()) [[unlikely]]
+      prof::Profiler::instance().instant(tag);
+  }
 
   void scrub_and_note() {
     ++scrubs_;
@@ -270,6 +278,8 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
         if (retries_left-- == 0) throw;
         note("fault:transient " + where_of(e));
         timeline_.enqueue(stream_, backoff, "recovery:retry backoff (build)");
+        if (prof::profiler_enabled()) [[unlikely]]
+          prof::Profiler::instance().add_retry_backoff(backoff, "(build)");
         ++retries_;
         backoff *= opt_.retry.backoff_growth;
       } catch (const vgpu::DataCorruption& e) {

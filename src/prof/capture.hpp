@@ -1,0 +1,34 @@
+// Convenience wrapper for profiling one engine's SpMV: builds the engine
+// under a profiler context labelled with the engine name (so the metrics
+// document groups its kernels per engine) and runs one simulated SpMV.
+//
+// Lives in prof/ but is header-only and pulls in core/factory.hpp, so only
+// translation units that already link acsr_core (the CLI, tests, benches)
+// may include it — the acsr_prof *library* stays below vgpu in the layer
+// stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "prof/prof.hpp"
+
+namespace acsr::prof {
+
+/// Build `engine_name` on `dev` for `a`, run one simulated SpMV of the
+/// all-ones vector under a profiler context named after the engine, and
+/// return the simulated seconds. Throws whatever the engine build throws
+/// (InputError for shape refusals, DeviceOom for over-budget formats).
+template <class T>
+double capture_engine_spmv(const std::string& engine_name, vgpu::Device& dev,
+                           const mat::Csr<T>& a,
+                           core::EngineConfig cfg = {}) {
+  ScopedContext ctx(engine_name);
+  auto engine = core::make_engine<T>(engine_name, dev, a, cfg);
+  std::vector<T> x(static_cast<std::size_t>(a.cols), T{1});
+  std::vector<T> y;
+  return engine->simulate(x, y);
+}
+
+}  // namespace acsr::prof

@@ -1,0 +1,53 @@
+// Per-launch lane-utilisation tallies collected by the profiler.
+//
+// `Counters` (src/vgpu/counters.hpp) deliberately aggregates away *which*
+// lanes participated in each warp instruction — the cost model does not
+// need it. The observability metrics do: lane occupancy, the divergence
+// ratio, and coalescing efficiency (useful bytes / sector bytes) are all
+// ratios over per-instruction active-lane populations. LaneCounters holds
+// those extra tallies, kept strictly outside `Counters` so the
+// metering-parity contract (tests/test_metering_invariance.cpp) is
+// untouched: profiling may add these reads, never a metered event.
+//
+// Warp's accounting helpers feed this through `KernelEnv::prof`, a pointer
+// that is null unless the launch runs under ACSR_PROF/ACSR_TRACE — so the
+// cost when profiling is off is one never-taken null test per accounting
+// call, on par with the sanitizer's `env.sanitize` branch.
+//
+// Both executor paths (analytic affine fast path and the per-lane
+// reference loop) report the *true* active mask here, so profiled numbers
+// are identical whichever path ran (pinned by the profiled mode of the
+// invariance suite).
+#pragma once
+
+#include <cstdint>
+
+namespace acsr::prof {
+
+struct LaneCounters {
+  // Memory path: one "slot" entry of 32 per warp-level load/store/atomic
+  // instruction, active entries = lanes participating in it.
+  std::uint64_t mem_lane_slots = 0;
+  std::uint64_t mem_active_lanes = 0;
+  // Arithmetic path, weighted by flops-per-lane (an FMA pass counts 2).
+  std::uint64_t flop_lane_slots = 0;
+  std::uint64_t flop_active_lanes = 0;
+  // Bytes the active lanes asked for (element size x active lanes), as
+  // opposed to the 32 B sectors the memory system actually moved
+  // (Counters::gmem_bytes / tex_bytes). Their ratio is the coalescing
+  // efficiency.
+  std::uint64_t useful_gmem_bytes = 0;
+  std::uint64_t useful_tex_bytes = 0;
+
+  LaneCounters& operator+=(const LaneCounters& o) {
+    mem_lane_slots += o.mem_lane_slots;
+    mem_active_lanes += o.mem_active_lanes;
+    flop_lane_slots += o.flop_lane_slots;
+    flop_active_lanes += o.flop_active_lanes;
+    useful_gmem_bytes += o.useful_gmem_bytes;
+    useful_tex_bytes += o.useful_tex_bytes;
+    return *this;
+  }
+};
+
+}  // namespace acsr::prof

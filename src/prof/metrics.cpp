@@ -1,0 +1,153 @@
+#include "prof/metrics.hpp"
+
+#include <algorithm>
+
+namespace acsr::prof {
+
+namespace {
+
+double safe_div(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
+
+// One passthrough metric per Counters field. scripts/lint.sh rule 4 greps
+// this file for every field name parsed out of src/vgpu/counters.hpp, so
+// adding a counter without adding a row here fails the lint gate.
+#define ACSR_COUNTER_METRIC(field, what)                                  \
+  MetricDef {                                                             \
+    "counters." #field, "count", "sum of Counters::" #field " (" what ")", \
+        true, [](const KernelAgg& a) {                                    \
+          return static_cast<double>(a.counters.field);                   \
+        }                                                                 \
+  }
+
+std::vector<MetricDef> build_registry() {
+  std::vector<MetricDef> r = {
+      {"launches", "count", "host-side kernel launches aggregated", true,
+       [](const KernelAgg& a) { return static_cast<double>(a.launches); }},
+      {"model_ms", "ms", "1e3 * sum of KernelRun::duration_s", true,
+       [](const KernelAgg& a) { return a.duration_s * 1e3; }},
+      {"model_ms_avg", "ms", "model_ms / launches", true,
+       [](const KernelAgg& a) {
+         return safe_div(a.duration_s * 1e3,
+                         static_cast<double>(a.launches));
+       }},
+      {"lane_occupancy_pct", "%",
+       "100 * (mem_active_lanes + flop_active_lanes) / (mem_lane_slots + "
+       "flop_lane_slots)",
+       true, [](const KernelAgg& a) { return lane_occupancy_pct(a.lanes); }},
+      {"divergence_ratio", "ratio", "1 - lane_occupancy_pct / 100", true,
+       [](const KernelAgg& a) { return divergence_ratio(a.lanes); }},
+      {"coalescing_efficiency", "ratio",
+       "useful_gmem_bytes / gmem_bytes (useful = element size * active "
+       "lanes; gmem_bytes = 32 B sectors moved)",
+       true,
+       [](const KernelAgg& a) {
+         return coalescing_efficiency(a.lanes, a.counters);
+       }},
+      {"tex_coalescing_efficiency", "ratio",
+       "useful_tex_bytes / tex_bytes (texture path, the x gathers)", true,
+       [](const KernelAgg& a) {
+         return tex_coalescing_efficiency(a.lanes, a.counters);
+       }},
+      {"sectors_per_request", "ratio", "gmem_transactions / gmem_requests",
+       true,
+       [](const KernelAgg& a) {
+         return safe_div(static_cast<double>(a.counters.gmem_transactions),
+                         static_cast<double>(a.counters.gmem_requests));
+       }},
+      {"atomic_conflict_ratio", "ratio", "atomic_conflicts / atomic_ops",
+       true,
+       [](const KernelAgg& a) {
+         return safe_div(static_cast<double>(a.counters.atomic_conflicts),
+                         static_cast<double>(a.counters.atomic_ops));
+       }},
+      // Roofline attribution: each term's share of the modelled duration.
+      // Shares do not sum to 1 — duration is launch + max(bounds) + dp, so
+      // the non-binding bounds report the headroom the kernel had.
+      {"issue_share", "ratio", "issue_s / duration_s (warp-issue bound)",
+       true,
+       [](const KernelAgg& a) { return safe_div(a.issue_s, a.duration_s); }},
+      {"flop_share", "ratio", "flop_s / duration_s (arithmetic bound)", true,
+       [](const KernelAgg& a) { return safe_div(a.flop_s, a.duration_s); }},
+      {"memory_share", "ratio", "memory_s / duration_s (DRAM bound)", true,
+       [](const KernelAgg& a) {
+         return safe_div(a.memory_s, a.duration_s);
+       }},
+      {"latency_share", "ratio",
+       "latency_s / duration_s (dependency-chain bound)", true,
+       [](const KernelAgg& a) {
+         return safe_div(a.latency_s, a.duration_s);
+       }},
+      {"launch_share", "ratio", "launch_s / duration_s (host launch cost)",
+       true,
+       [](const KernelAgg& a) {
+         return safe_div(a.launch_s, a.duration_s);
+       }},
+      {"dp_overhead_share", "ratio",
+       "dp_s / duration_s (device-runtime child-launch handling)", true,
+       [](const KernelAgg& a) { return safe_div(a.dp_s, a.duration_s); }},
+      {"dram_mb", "MB", "dram_bytes / 1e6 (post-cache DRAM traffic)", true,
+       [](const KernelAgg& a) { return a.dram_bytes / 1e6; }},
+      // Host wall-clock attribution of the *simulator* (not the model):
+      // where bench_wallclock's real milliseconds go. Machine-dependent,
+      // hence excluded from --diff.
+      {"host_ms", "ms", "wall time inside Device::launch, summed", false,
+       [](const KernelAgg& a) {
+         return static_cast<double>(a.host_ns) / 1e6;
+       }},
+      {"host_us_per_launch", "us", "host_ms * 1e3 / launches", false,
+       [](const KernelAgg& a) {
+         return safe_div(static_cast<double>(a.host_ns) / 1e3,
+                         static_cast<double>(a.launches));
+       }},
+      ACSR_COUNTER_METRIC(blocks, "thread blocks executed"),
+      ACSR_COUNTER_METRIC(warps, "warps executed"),
+      ACSR_COUNTER_METRIC(issue_cycles, "warp-instructions issued"),
+      ACSR_COUNTER_METRIC(sp_flops, "single-precision lane flops"),
+      ACSR_COUNTER_METRIC(dp_flops, "double-precision lane flops"),
+      ACSR_COUNTER_METRIC(gmem_requests, "global load/store instructions"),
+      ACSR_COUNTER_METRIC(gmem_transactions, "32 B global sectors moved"),
+      ACSR_COUNTER_METRIC(gmem_bytes, "global sector bytes moved"),
+      ACSR_COUNTER_METRIC(tex_requests, "texture read instructions"),
+      ACSR_COUNTER_METRIC(tex_transactions, "32 B texture segments moved"),
+      ACSR_COUNTER_METRIC(tex_bytes, "texture segment bytes moved"),
+      ACSR_COUNTER_METRIC(shuffle_ops, "warp shuffle instructions"),
+      ACSR_COUNTER_METRIC(smem_accesses, "shared-memory accesses"),
+      ACSR_COUNTER_METRIC(atomic_ops, "atomic lane operations"),
+      ACSR_COUNTER_METRIC(atomic_conflicts, "same-address atomic replays"),
+      ACSR_COUNTER_METRIC(child_launches, "device-side child launches"),
+      ACSR_COUNTER_METRIC(child_blocks, "blocks run by child grids"),
+  };
+  return r;
+}
+
+#undef ACSR_COUNTER_METRIC
+
+std::vector<CounterMetric> build_counter_metrics() {
+  std::vector<CounterMetric> r;
+  for (const MetricDef& m : metric_registry()) {
+    const std::string name = m.name;
+    if (name.rfind("counters.", 0) == 0)
+      r.push_back({m.name + sizeof("counters.") - 1, m.name});
+  }
+  return r;
+}
+
+}  // namespace
+
+const std::vector<MetricDef>& metric_registry() {
+  static const std::vector<MetricDef> r = build_registry();
+  return r;
+}
+
+const MetricDef* find_metric(const std::string& name) {
+  for (const MetricDef& m : metric_registry())
+    if (name == m.name) return &m;
+  return nullptr;
+}
+
+const std::vector<CounterMetric>& counter_metrics() {
+  static const std::vector<CounterMetric> r = build_counter_metrics();
+  return r;
+}
+
+}  // namespace acsr::prof

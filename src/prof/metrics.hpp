@@ -1,0 +1,122 @@
+// Typed metric registry: the named, documented decomposition of the raw
+// Counters aggregate (plus the profiler's lane tallies and the roofline
+// terms) into the quantities the paper argues with — lane occupancy,
+// coalescing efficiency, divergence, roofline attribution, DP overhead.
+//
+// Two invariants the rest of the repo leans on:
+//   * every Counters field has a passthrough metric here (counter_metrics();
+//     scripts/lint.sh rule 4 greps this file so a new counter cannot ship
+//     unobservable), and
+//   * metrics marked non-deterministic (host wall-clock attribution) are
+//     excluded from `acsr_prof --diff` regression comparisons — only model
+//     quantities, which are bit-reproducible, gate drift.
+//
+// Formula strings are the documentation of record; docs/OBSERVABILITY.md
+// renders the same definitions prose-side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/prof.hpp"
+
+namespace acsr::prof {
+
+// --- shared derived-metric formulas (also used for trace-event args) -------
+
+/// Percentage of issued lane slots that carried an active lane, over the
+/// memory and arithmetic pipelines together. 100 on fully converged code;
+/// CSR-vector on short rows is the paper's canonical low-occupancy case.
+inline double lane_occupancy_pct(const LaneCounters& l) {
+  const std::uint64_t slots = l.mem_lane_slots + l.flop_lane_slots;
+  if (slots == 0) return 100.0;
+  return 100.0 * static_cast<double>(l.mem_active_lanes +
+                                     l.flop_active_lanes) /
+         static_cast<double>(slots);
+}
+
+/// Fraction of issued lane slots wasted on inactive lanes: 1 - occupancy.
+inline double divergence_ratio(const LaneCounters& l) {
+  return 1.0 - lane_occupancy_pct(l) / 100.0;
+}
+
+/// Useful bytes (element size x active lanes, duplicates counted) over the
+/// 32 B sector bytes the memory system moved. 1.0 = perfectly coalesced;
+/// scattered power-law gathers sit far below. Sector bytes are only
+/// charged on cache *misses*, so L2-resident reuse (adjacent rows sharing
+/// sectors, as in ACSR's bin sweeps) pushes the ratio above 1 — read
+/// values > 1 as "useful bytes delivered per DRAM byte fetched".
+inline double coalescing_efficiency(const LaneCounters& l,
+                                    const vgpu::Counters& c) {
+  if (c.gmem_bytes == 0) return 1.0;
+  return static_cast<double>(l.useful_gmem_bytes) /
+         static_cast<double>(c.gmem_bytes);
+}
+
+/// Texture-path coalescing efficiency (the x-vector gathers).
+inline double tex_coalescing_efficiency(const LaneCounters& l,
+                                        const vgpu::Counters& c) {
+  if (c.tex_bytes == 0) return 1.0;
+  return static_cast<double>(l.useful_tex_bytes) /
+         static_cast<double>(c.tex_bytes);
+}
+
+/// Aggregate of LaunchSamples sharing one summary row (same kernel name,
+/// or an engine's whole-run total).
+struct KernelAgg {
+  std::uint64_t launches = 0;
+  vgpu::Counters counters;
+  LaneCounters lanes;
+  double duration_s = 0.0;
+  double issue_s = 0.0;
+  double flop_s = 0.0;
+  double memory_s = 0.0;
+  double latency_s = 0.0;
+  double launch_s = 0.0;
+  double dp_s = 0.0;
+  double dram_bytes = 0.0;
+  std::uint64_t host_ns = 0;
+
+  void add(const LaunchSample& s) {
+    launches += 1;
+    counters += s.run.counters;
+    lanes += s.lanes;
+    duration_s += s.run.duration_s;
+    issue_s += s.run.issue_s;
+    flop_s += s.run.flop_s;
+    memory_s += s.run.memory_s;
+    latency_s += s.run.latency_s;
+    launch_s += s.run.launch_s;
+    dp_s += s.run.dp_s;
+    dram_bytes += s.run.dram_bytes;
+    host_ns += s.host_ns;
+  }
+};
+
+struct MetricDef {
+  const char* name;
+  const char* unit;
+  const char* formula;  // human-readable definition (docs/OBSERVABILITY.md)
+  /// False for host wall-clock attribution: real, but machine-dependent,
+  /// so --diff skips it.
+  bool deterministic;
+  double (*compute)(const KernelAgg&);
+};
+
+/// Every registered metric, derived first, counter passthroughs after.
+const std::vector<MetricDef>& metric_registry();
+
+/// nullptr when unknown.
+const MetricDef* find_metric(const std::string& name);
+
+/// The Counters-field -> passthrough-metric map. Completeness (one entry
+/// per field of vgpu::Counters) is enforced by scripts/lint.sh rule 4 and
+/// by the registry test.
+struct CounterMetric {
+  const char* field;
+  const char* metric;
+};
+const std::vector<CounterMetric>& counter_metrics();
+
+}  // namespace acsr::prof

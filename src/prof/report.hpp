@@ -1,0 +1,50 @@
+// Exporters over the profiler's samples: the metrics JSON document (the
+// `acsr_prof --out` / bench `--metrics_out` format, and the committed
+// PROF_baseline.json), the nvprof-style text summary, and the --diff
+// regression comparison. docs/OBSERVABILITY.md documents the doc schema.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "prof/metrics.hpp"
+
+namespace acsr::prof {
+
+inline constexpr const char* kMetricsSchema = "acsr-prof/v1";
+
+/// Metrics document: { schema, retry_backoff_s, engines: { <context>:
+/// { total: {metric: value}, kernels: { <name>: {metric: value} } } } }.
+/// Launches are grouped by their context label ("(none)" when empty),
+/// then by kernel name.
+json::Value metrics_doc(const std::vector<LaunchSample>& launches,
+                        double retry_backoff_s);
+
+/// nvprof-style per-kernel summary of one profile: kernels ranked by
+/// model time with occupancy/coalescing columns, plus group totals.
+void render_summary(std::ostream& os,
+                    const std::vector<LaunchSample>& launches,
+                    double retry_backoff_s);
+
+/// Engines-as-columns metric matrix over a metrics document (the
+/// `acsr_prof` all-engines view).
+void render_engine_matrix(std::ostream& os, const json::Value& doc);
+
+struct Drift {
+  std::string path;      // e.g. "engines/acsr/total/model_ms"
+  double baseline = 0.0; // NaN when the side is missing
+  double current = 0.0;
+  double rel = 0.0;      // (current - baseline) / max(|baseline|, eps)
+};
+
+/// Compare per-engine *total* metrics of two metrics documents. Only
+/// deterministic metrics participate (host wall-clock attribution is
+/// machine-dependent); entries whose |rel| exceeds `threshold`, and
+/// engines present on only one side, are returned, largest drift first.
+std::vector<Drift> diff_metrics(const json::Value& current,
+                                const json::Value& baseline,
+                                double threshold);
+
+}  // namespace acsr::prof

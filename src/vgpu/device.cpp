@@ -1,8 +1,10 @@
 #include "vgpu/device.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 #include "vgpu/sanitizer.hpp"
 
 namespace acsr::vgpu {
@@ -141,6 +143,18 @@ KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
   env.fast_path = !sanitize && !reference_metering();
   if (sanitize) san.begin_launch(cfg.name);
 
+  // Profiler capture. Strictly observational: lane tallies go to a side
+  // structure (never into env.counters), and the sample is recorded after
+  // finalize() so the KernelRun it stores is the one the caller gets.
+  const bool profiling = prof::profiler_enabled();
+  prof::LaneCounters lanes;
+  std::vector<prof::ChildGrid> child_info;
+  std::uint64_t t0_ns = 0;
+  if (profiling) [[unlikely]] {
+    env.lane_prof = &lanes;
+    t0_ns = prof::host_now_ns();
+  }
+
   auto run_grid = [&](const LaunchConfig& gc, const KernelRef& gf) {
     for (long long b = 0; b < gc.grid_dim; ++b) {
       const int sm =
@@ -175,6 +189,9 @@ KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
                    "device-side launch on " << spec_.name << " (CC < 3.5)");
     env.counters.child_blocks +=
         static_cast<std::uint64_t>(item.cfg.grid_dim);
+    if (profiling) [[unlikely]]
+      child_info.push_back(
+          {item.cfg.name, item.cfg.grid_dim, item.cfg.block_dim});
     run_grid(item.cfg, KernelRef(item.fn));
     drain_children();
   }
@@ -182,6 +199,15 @@ KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
   KernelRun run = finalize(cfg, spec_, env);
   if (sanitize)
     run.sanitizer_reports = static_cast<std::uint64_t>(san.end_launch());
+  if (profiling) [[unlikely]] {
+    std::vector<double> sm_s(env.sm_issue_cycles.size());
+    for (std::size_t i = 0; i < sm_s.size(); ++i)
+      sm_s[i] = env.sm_issue_cycles[i] / spec_.issue_slots_per_sm /
+                spec_.clock_hz();
+    prof::Profiler::instance().record_launch(
+        spec_.name, run, lanes, std::move(child_info),
+        prof::host_now_ns() - t0_ns, std::move(sm_s));
+  }
   return run;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "prof/lane_counters.hpp"
 #include "vgpu/counters.hpp"
 #include "vgpu/device_spec.hpp"
 #include "vgpu/lane_array.hpp"
@@ -176,6 +177,12 @@ struct KernelEnv {
   SectorCacheState tex_cache_state;
   // Bump pool for Block::shared allocations.
   SharedMemArena smem_arena;
+  // Profiler lane-utilisation tallies (src/prof/). Null unless the launch
+  // runs under ACSR_PROF/ACSR_TRACE, so each accounting helper pays one
+  // never-taken null test. Strictly observational: nothing here may feed
+  // back into `counters` or the caches (metering parity, pinned by
+  // tests/test_metering_invariance.cpp).
+  prof::LaneCounters* lane_prof = nullptr;
 };
 
 class Warp {
@@ -292,7 +299,8 @@ class Warp {
           lane_body(std::countr_zero(rem));
       }
     }
-    account_gmem(m, nsegs);
+    account_gmem(active_lanes(m), nsegs,
+                 static_cast<std::size_t>(active_lanes(m)) * sizeof(T));
     return r;
   }
 
@@ -347,7 +355,8 @@ class Warp {
         for (Mask rem = m; rem != 0; rem &= rem - 1)
           lane_body(std::countr_zero(rem));
       }
-      account_gmem(m, nsegs);
+      account_gmem(active_lanes(m), nsegs,
+                   static_cast<std::size_t>(active_lanes(m)) * sizeof(A));
     }
     b.check_range(lo, hi);
     {
@@ -365,7 +374,8 @@ class Warp {
         for (Mask rem = m; rem != 0; rem &= rem - 1)
           lane_body(std::countr_zero(rem));
       }
-      account_gmem(m, nsegs);
+      account_gmem(active_lanes(m), nsegs,
+                   static_cast<std::size_t>(active_lanes(m)) * sizeof(B));
     }
   }
 
@@ -410,13 +420,16 @@ class Warp {
           lane_body(std::countr_zero(rem));
       }
     }
-    account_gmem(m, nsegs);
+    account_gmem(active_lanes(m), nsegs,
+                 static_cast<std::size_t>(active_lanes(m)) * sizeof(T));
   }
 
   /// Uniform (warp-wide broadcast) load of a single element.
   template <class T>
   T load_scalar(DeviceSpan<const T> s, std::size_t i) {
-    account_gmem(kFullMask, 1);
+    // One lane's worth of data serves the whole warp (broadcast), so the
+    // profiler sees active=1 and sizeof(T) useful bytes.
+    account_gmem(1, 1, sizeof(T));
     if (env_.sanitize)
       Sanitizer::instance().note_read(s.addr_of(i), sizeof(T), block_idx_,
                                       warp_in_block_, /*lane=*/-1);
@@ -461,7 +474,7 @@ class Warp {
           lane_body(std::countr_zero(rem));
       }
     }
-    account_tex(s, nsegs);
+    account_tex(s, active_lanes(m), nsegs);
     return r;
   }
 
@@ -509,6 +522,11 @@ class Warp {
     env_.counters.gmem_requests += 1;
     env_.counters.gmem_transactions += static_cast<std::uint64_t>(nsegs);
     env_.counters.gmem_bytes += static_cast<std::uint64_t>(nsegs) * kGmemSegment;
+    if (env_.lane_prof != nullptr) [[unlikely]] {
+      env_.lane_prof->mem_lane_slots += kWarpSize;
+      env_.lane_prof->mem_active_lanes += act;
+      env_.lane_prof->useful_gmem_bytes += act * sizeof(T);
+    }
   }
 
   // --- intra-warp data exchange --------------------------------------------
@@ -634,6 +652,12 @@ class Warp {
       env_.counters.sp_flops += act;
     issue_ += static_cast<std::uint64_t>(flops_per_lane);
     alu_instr_ += static_cast<std::uint64_t>(flops_per_lane);
+    if (env_.lane_prof != nullptr) [[unlikely]] {
+      env_.lane_prof->flop_lane_slots +=
+          static_cast<std::uint64_t>(kWarpSize) *
+          static_cast<std::uint64_t>(flops_per_lane);
+      env_.lane_prof->flop_active_lanes += act;
+    }
   }
 
   /// n integer/control warp-instructions (address math, compares, branches).
@@ -651,6 +675,13 @@ class Warp {
     env_.counters.gmem_bytes += accesses * 32;
     issue_ += accesses;
     mem_instr_ += accesses;
+    if (env_.lane_prof != nullptr) [[unlikely]] {
+      // Single-lane accesses: 1 active lane per 32-lane slot, modelled as
+      // one 8-byte useful element per sector transaction.
+      env_.lane_prof->mem_lane_slots += accesses * kWarpSize;
+      env_.lane_prof->mem_active_lanes += accesses;
+      env_.lane_prof->useful_gmem_bytes += accesses * 8;
+    }
   }
 
   /// n shuffle instructions whose data movement is modelled analytically
@@ -757,7 +788,7 @@ class Warp {
         s.addr_of(static_cast<std::size_t>(last)) / kGmemSegment;
     for (std::uint64_t seg = s0; seg <= s1; ++seg)
       if (!gmem_cache_.hit(seg)) nsegs += allow_group ? group_miss(seg) : 1;
-    account_gmem(kFullMask, nsegs);
+    account_gmem(n, nsegs, static_cast<std::size_t>(n) * sizeof(T));
     return r;
   }
 
@@ -782,7 +813,7 @@ class Warp {
         s.addr_of(static_cast<std::size_t>(last)) / kGmemSegment;
     for (std::uint64_t seg = s0; seg <= s1; ++seg)
       if (!gmem_cache_.hit(seg)) nsegs += group_miss(seg);
-    account_gmem(kFullMask, nsegs);
+    account_gmem(n, nsegs, static_cast<std::size_t>(n) * sizeof(T));
   }
 
   /// Texture-path analogue of gather_affine (no concurrent-group filter on
@@ -806,7 +837,7 @@ class Warp {
         s.addr_of(static_cast<std::size_t>(last)) / kTexSegment;
     for (std::uint64_t seg = s0; seg <= s1; ++seg)
       if (!tex_cache_.hit(seg)) ++nsegs;
-    account_tex(s, nsegs);
+    account_tex(s, n, nsegs);
     return r;
   }
 
@@ -823,17 +854,28 @@ class Warp {
     return env_.group_l2->insert(seg).second ? 1 : 0;
   }
 
-  void account_gmem(Mask /*m*/, int nsegs) {
+  /// `active` and `useful_bytes` feed only the profiler's lane tallies
+  /// (occupancy / coalescing metrics); the Counters charges are identical
+  /// for any value. Both executor paths pass the *true* active-lane count
+  /// — the affine fast path passes its prefix length n, which equals
+  /// active_lanes(m) of the mask the reference loop sees — so profiled
+  /// numbers are path-invariant.
+  void account_gmem(int active, int nsegs, std::size_t useful_bytes) {
     env_.counters.gmem_requests += 1;
     env_.counters.gmem_transactions += static_cast<std::uint64_t>(nsegs);
     env_.counters.gmem_bytes +=
         static_cast<std::uint64_t>(nsegs) * kGmemSegment;
     issue_ += 1;
     mem_instr_ += 1;
+    if (env_.lane_prof != nullptr) [[unlikely]] {
+      env_.lane_prof->mem_lane_slots += kWarpSize;
+      env_.lane_prof->mem_active_lanes += static_cast<std::uint64_t>(active);
+      env_.lane_prof->useful_gmem_bytes += useful_bytes;
+    }
   }
 
   template <class T>
-  void account_tex(DeviceSpan<const T> s, int nsegs) {
+  void account_tex(DeviceSpan<const T> s, int active, int nsegs) {
     env_.counters.tex_requests += 1;
     env_.counters.tex_transactions += static_cast<std::uint64_t>(nsegs);
     env_.counters.tex_bytes += static_cast<std::uint64_t>(nsegs) * kTexSegment;
@@ -841,6 +883,12 @@ class Warp {
       env_.tex_footprint_bytes = s.size() * sizeof(T);
     issue_ += 1;
     mem_instr_ += 1;
+    if (env_.lane_prof != nullptr) [[unlikely]] {
+      env_.lane_prof->mem_lane_slots += kWarpSize;
+      env_.lane_prof->mem_active_lanes += static_cast<std::uint64_t>(active);
+      env_.lane_prof->useful_tex_bytes +=
+          static_cast<std::uint64_t>(active) * sizeof(T);
+    }
   }
 
   KernelEnv& env_;

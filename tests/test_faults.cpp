@@ -20,6 +20,7 @@
 #include "core/resilient.hpp"
 #include "graph/powerlaw.hpp"
 #include "mat/padded.hpp"
+#include "prof/prof.hpp"
 #include "vgpu/fault.hpp"
 
 namespace {
@@ -263,6 +264,41 @@ TEST_F(Faults, ResilientRetriesTransientAndChargesBackoff) {
   // The backoff is charged to the simulated clock.
   EXPECT_GT(engine.timeline().busy_seconds(), 0.0);
   EXPECT_GT(total, 0.0);
+}
+
+TEST_F(Faults, ProfilerBackoffMatchesTimelineCharge) {
+  // The profiler's fault-retry attribution must equal the backoff
+  // ResilientEngine charges to the simulated clock: both observe the same
+  // `backoff` values in the same order. Timeline entries store absolute
+  // (start, end) stamps, so recovering the duration as end - start can
+  // round in the last ulp — hence DOUBLE_EQ, not bit equality.
+  const Csr<double> a = test_matrix();
+  const auto x = ones(static_cast<std::size_t>(a.cols));
+
+  acsr::prof::Profiler& prof = acsr::prof::Profiler::instance();
+  prof.clear();
+  acsr::prof::set_profiler_enabled(true);
+  FaultInjector::instance().configure("transient@launch#40*3");
+  Device dev(DeviceSpec::gtx_titan());
+  ResilientEngine<double> engine({&dev}, a, "acsr");
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) engine.simulate(x, y);
+  acsr::prof::set_profiler_enabled(false);
+
+  ASSERT_GE(engine.retries(), 1) << "plan never fired";
+  double timeline_backoff = 0.0;
+  for (const auto& e : engine.timeline().log())
+    if (e.tag.find("recovery:retry backoff") != std::string::npos)
+      timeline_backoff += e.end_s - e.start_s;
+  EXPECT_GT(timeline_backoff, 0.0);
+  EXPECT_DOUBLE_EQ(prof.retry_backoff_s(), timeline_backoff);
+
+  // Each fault also leaves instant marks in the trace.
+  int fault_instants = 0;
+  for (const auto& inst : prof.instants())
+    if (inst.name.find("fault:") != std::string::npos) ++fault_instants;
+  EXPECT_GE(fault_instants, engine.retries());
+  prof.clear();
 }
 
 TEST_F(Faults, ResilientScrubsDetectedCorruption) {

@@ -11,9 +11,12 @@
 //               probe loops everywhere (set_reference_metering(true))
 //   sanitized   fully instrumented (per-access memcheck/racecheck hooks;
 //               the fast path is disabled automatically)
+//   profiled    ACSR_PROF semantics (set_profiler_enabled(true)): the
+//               fast path stays on and the profiler's lane tallies record
+//               to the side — metering must be unaffected
 //
 // and asserts that the numeric result, every Counters field, and every
-// KernelRun roofline term are BIT-identical across the three.
+// KernelRun roofline term are BIT-identical across the four.
 //
 // Each run uses a fresh Device: MemoryArena address slices are spaced
 // 2^44 bytes apart, so corresponding buffers in consecutive arenas have
@@ -32,6 +35,7 @@
 #include "core/factory.hpp"
 #include "graph/powerlaw.hpp"
 #include "graph/rmat.hpp"
+#include "prof/prof.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/sanitizer.hpp"
 
@@ -176,7 +180,7 @@ struct ModeResult {
   KernelRun run;
 };
 
-enum class Mode { kFast, kReference, kSanitized };
+enum class Mode { kFast, kReference, kSanitized, kProfiled };
 
 ModeResult run_mode(const Csr<double>& a, const char* engine_name,
                     const std::vector<double>& x, Mode mode) {
@@ -185,6 +189,10 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
   if (mode == Mode::kSanitized) {
     san.clear();
     san.set_enabled(true);
+  }
+  if (mode == Mode::kProfiled) {
+    acsr::prof::Profiler::instance().clear();
+    acsr::prof::set_profiler_enabled(true);
   }
 
   ModeResult res;
@@ -210,6 +218,16 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
     san.set_enabled(false);
     san.clear();
   }
+  if (mode == Mode::kProfiled) {
+    // ACSR on an all-empty matrix issues no kernels at all (every bin and
+    // the DP work list are empty), so only demand samples when there is
+    // work to launch.
+    EXPECT_TRUE(res.skipped || a.nnz() == 0 ||
+                !acsr::prof::Profiler::instance().launches().empty())
+        << "profiler recorded no launches while enabled";
+    acsr::prof::set_profiler_enabled(false);
+    acsr::prof::Profiler::instance().clear();
+  }
   return res;
 }
 
@@ -231,21 +249,26 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
       const ModeResult fast = run_mode(a, engine_name, x, Mode::kFast);
       const ModeResult ref = run_mode(a, engine_name, x, Mode::kReference);
       const ModeResult san = run_mode(a, engine_name, x, Mode::kSanitized);
+      const ModeResult prof = run_mode(a, engine_name, x, Mode::kProfiled);
       ASSERT_EQ(fast.skipped, ref.skipped);
       ASSERT_EQ(fast.skipped, san.skipped);
+      ASSERT_EQ(fast.skipped, prof.skipped);
       if (fast.skipped) continue;
 
       // Numeric result: the fast path reads the same elements in the same
       // per-lane order, so y must match to the last bit.
       ASSERT_EQ(fast.y.size(), ref.y.size());
       ASSERT_EQ(fast.y.size(), san.y.size());
+      ASSERT_EQ(fast.y.size(), prof.y.size());
       for (std::size_t r = 0; r < fast.y.size(); ++r) {
         EXPECT_EQ(fast.y[r], ref.y[r]) << "y diverges at row " << r;
         EXPECT_EQ(fast.y[r], san.y[r]) << "y diverges at row " << r;
+        EXPECT_EQ(fast.y[r], prof.y[r]) << "y diverges at row " << r;
       }
 
       EXPECT_EQ(fast.duration, ref.duration);
       EXPECT_EQ(fast.duration, san.duration);
+      EXPECT_EQ(fast.duration, prof.duration);
       {
         SCOPED_TRACE("fast vs reference");
         const KernelRun &a_run = fast.run, &b_run = ref.run;
@@ -255,13 +278,17 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
         SCOPED_TRACE("fast vs sanitized");
         expect_run_identical(fast.run, san.run);
       }
+      {
+        SCOPED_TRACE("fast vs profiled");
+        expect_run_identical(fast.run, prof.run);
+      }
       ++compared;
     }
   }
   // The contract must have been exercised broadly, not vacuously skipped.
   EXPECT_GE(compared, matrices.size() * 14);
   std::cout << "[invariance] " << compared << " engine/matrix cells over "
-            << matrices.size() << " matrices, 3 modes each\n";
+            << matrices.size() << " matrices, 4 modes each\n";
 }
 
 /// The raw warp-level primitives, pinned directly: affine loads/stores at
