@@ -19,6 +19,8 @@
 //                   the wall-clock numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,11 +28,14 @@
 #include <string>
 #include <vector>
 
+#include "apps/cg.hpp"
+#include "apps/pagerank.hpp"
 #include "core/factory.hpp"
 #include "graph/corpus.hpp"
 #include "prof/capture.hpp"
 #include "prof/report.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/memo.hpp"
 
 namespace {
 
@@ -137,6 +142,109 @@ void BM_WarpGatherScatter(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 
+/// PageRank operand over the scaled wikipedia graph, built once.
+const Csr<double>& pagerank_operand() {
+  static const Csr<double> m =
+      acsr::apps::pagerank_matrix(corpus_matrix("WIK"));
+  return m;
+}
+
+/// SPD operand for CG derived from WIK: symmetrise |A| over the square
+/// leading block, then set each diagonal to its off-diagonal row sum + 1.
+/// Strict diagonal dominance of a symmetric matrix with a positive
+/// diagonal guarantees positive definiteness.
+const Csr<double>& cg_operand() {
+  static const Csr<double> m = [] {
+    using acsr::mat::index_t;
+    using acsr::mat::offset_t;
+    const Csr<double>& a = corpus_matrix("WIK");
+    const index_t n = std::min(a.rows, a.cols);
+    std::vector<std::map<index_t, double>> sym(static_cast<std::size_t>(n));
+    for (index_t r = 0; r < n; ++r) {
+      for (offset_t i = a.row_off[static_cast<std::size_t>(r)];
+           i < a.row_off[static_cast<std::size_t>(r) + 1]; ++i) {
+        const index_t c = a.col_idx[static_cast<std::size_t>(i)];
+        const double v = std::abs(a.vals[static_cast<std::size_t>(i)]);
+        if (c >= n || c == r || v == 0.0) continue;
+        sym[static_cast<std::size_t>(r)][c] += v;
+        sym[static_cast<std::size_t>(c)][r] += v;
+      }
+    }
+    Csr<double> out;
+    out.rows = out.cols = n;
+    out.row_off.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (index_t r = 0; r < n; ++r) {
+      auto& row = sym[static_cast<std::size_t>(r)];
+      double off_sum = 0.0;
+      for (const auto& [c, v] : row) off_sum += v;
+      row[r] = off_sum + 1.0;
+      out.row_off[static_cast<std::size_t>(r) + 1] =
+          out.row_off[static_cast<std::size_t>(r)] +
+          static_cast<offset_t>(row.size());
+      for (const auto& [c, v] : row) {
+        out.col_idx.push_back(c);
+        out.vals.push_back(v);
+      }
+    }
+    out.validate();
+    return out;
+  }();
+  return m;
+}
+
+/// Fresh memo cache per benchmark invocation; global flag restored after.
+/// Enabled before make_engine() — the factory only wraps engines in the
+/// memoizing decorator while the plane is on.
+struct MemoBenchGuard {
+  explicit MemoBenchGuard(bool on) {
+    acsr::vgpu::memo::MemoCache::instance().clear();
+    acsr::vgpu::memo::set_memo_enabled(on);
+  }
+  ~MemoBenchGuard() {
+    acsr::vgpu::memo::set_memo_enabled(false);
+    acsr::vgpu::memo::MemoCache::instance().clear();
+  }
+};
+
+/// End-to-end solver benchmark: one full fixed-work PageRank run (20
+/// device-loop iterations of the ACSR engine over WIK) per bench
+/// iteration. The memo variant measures the ACSR_MEMO=1 capture/replay
+/// path against the same workload (docs/PERF.md tracks the speedup).
+void BM_AppPagerank(benchmark::State& state, bool memo) {
+  MemoBenchGuard guard(memo);
+  const Csr<double>& a = pagerank_operand();
+  Device dev(titan_spec());
+  auto engine = make_engine<double>("acsr", dev, a, engine_config());
+  acsr::apps::PageRankConfig cfg;
+  cfg.iter.epsilon = 0.0;  // fixed work: never converges early
+  cfg.iter.max_iters = 20;
+  cfg.iter.device_loop = true;
+  for (auto _ : state) {
+    auto res = acsr::apps::pagerank(*engine, cfg);
+    benchmark::DoNotOptimize(res.scores.data());
+  }
+  state.counters["iters"] = cfg.iter.max_iters;
+}
+
+/// Same shape for CG: 20 fixed-work device-loop iterations over the SPD
+/// operand derived from WIK.
+void BM_AppCg(benchmark::State& state, bool memo) {
+  MemoBenchGuard guard(memo);
+  const Csr<double>& a = cg_operand();
+  Device dev(titan_spec());
+  auto engine = make_engine<double>("acsr", dev, a, engine_config());
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  acsr::apps::CgConfig cfg;
+  cfg.tolerance = 0.0;  // fixed work: never converges early
+  cfg.max_iters = 20;
+  cfg.device_loop = true;
+  for (auto _ : state) {
+    auto res = acsr::apps::conjugate_gradient(*engine, b, cfg);
+    benchmark::DoNotOptimize(res.x.data());
+  }
+  state.counters["iters"] = cfg.max_iters;
+}
+
 // The headline executor benchmark the ≥2x acceptance gate tracks:
 // CSR-scalar over the scaled wikipedia graph (power-law, the paper's
 // central workload). The --metrics_out replay profiles the same set.
@@ -158,6 +266,17 @@ void register_benches() {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("warp_gather/scatter", BM_WarpGatherScatter)
       ->Unit(benchmark::kMillisecond);
+  for (const bool memo : {false, true}) {
+    const char* suffix = memo ? "/memo" : "";
+    benchmark::RegisterBenchmark(
+        (std::string("app_solver/pagerank/WIK") + suffix).c_str(),
+        [memo](benchmark::State& st) { BM_AppPagerank(st, memo); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("app_solver/cg/WIK") + suffix).c_str(),
+        [memo](benchmark::State& st) { BM_AppCg(st, memo); })
+        ->Unit(benchmark::kMillisecond);
+  }
 }
 
 /// Post-measurement profiled replay: one SpMV per benched engine/matrix

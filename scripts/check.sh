@@ -50,6 +50,17 @@ tier1_start=$SECONDS
 ctest --test-dir "$build" -L tier1 --output-on-failure
 echo "check.sh: tier-1 suite took $((SECONDS - tier1_start))s"
 
+# The memo plane (docs/PERF.md) must hold the metering contract whether the
+# process starts with the cache enabled or disabled: the invariance matrix
+# and the memo unit tests run under both values of ACSR_MEMO.
+echo "== memo plane (metering invariance + memo tests, ACSR_MEMO=0 and 1)"
+for memo in 0 1; do
+  echo "   ACSR_MEMO=$memo"
+  ACSR_MEMO=$memo "$build/tests/test_metering_invariance" \
+    --gtest_brief=1
+  ACSR_MEMO=$memo "$build/tests/test_memo" --gtest_brief=1
+done
+
 echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014}, ${ACSR_FUZZ_MATRICES:-200} matrices)"
 ACSR_FUZZ_SEED="${ACSR_FUZZ_SEED:-2014}" \
 ACSR_FUZZ_MATRICES="${ACSR_FUZZ_MATRICES:-200}" \

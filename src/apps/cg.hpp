@@ -15,6 +15,10 @@ namespace acsr::apps {
 struct CgConfig {
   double tolerance = 1e-8;  // on ||r|| / ||b||
   int max_iters = 5000;
+  /// Per-iteration engine.simulate() instead of apply() + one analytic
+  /// spmv_seconds() charge (see PowerIterConfig::device_loop) — the loop
+  /// shape the memo plane (ACSR_MEMO=1) accelerates.
+  bool device_loop = false;
 };
 
 template <class T>
@@ -56,14 +60,15 @@ CgResult<T> conjugate_gradient(spmv::SpmvEngine<T>& engine,
   double rr = dot(r, r);
   const double b_norm = std::sqrt(std::max(dot(b, b), 1e-300));
 
-  const double spmv_s = engine.spmv_seconds();
+  const double spmv_s = cfg.device_loop ? 0.0 : engine.spmv_seconds();
   // Per iteration: SpMV + 2 dot-product reductions + 3 axpy passes,
   // together streaming ~10n values.
   const double aux_s =
       aux_kernels_seconds(engine.device(), 10 * n * sizeof(T), 5);
 
   for (int k = 0; k < cfg.max_iters; ++k) {
-    engine.apply(p, ap);
+    const double t = cfg.device_loop ? engine.simulate(p, ap)
+                                     : (engine.apply(p, ap), spmv_s);
     const double pap = dot(p, ap);
     if (pap <= 0.0) break;  // not SPD (or numerical breakdown)
     const double alpha = rr / pap;
@@ -73,9 +78,9 @@ CgResult<T> conjugate_gradient(spmv::SpmvEngine<T>& engine,
     }
     const double rr_new = dot(r, r);
     res.iterations = k + 1;
-    res.total_s += spmv_s + aux_s;
-    res.spmv_s += spmv_s;
-    prof::phase_marker("app", "cg:iteration", spmv_s + aux_s);
+    res.total_s += t + aux_s;
+    res.spmv_s += t;
+    prof::phase_marker("app", "cg:iteration", t + aux_s);
     if (std::sqrt(rr_new) / b_norm < cfg.tolerance) {
       rr = rr_new;
       res.converged = true;

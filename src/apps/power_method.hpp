@@ -15,6 +15,15 @@ namespace acsr::apps {
 struct PowerIterConfig {
   double epsilon = 1e-6;  // Euclidean convergence threshold (the paper's)
   int max_iters = 10000;
+  /// Run every SpMV through engine.simulate() — the full device path with
+  /// per-launch metering — instead of apply() plus a single analytic
+  /// spmv_seconds() charge. Same simulated time, same result vector
+  /// (simulate and apply agree to rounding), but the host pays the real
+  /// simulator cost per iteration. This is the loop shape the memo plane
+  /// (ACSR_MEMO=1, vgpu/memo.hpp) accelerates: iteration 1 captures the
+  /// launch metering, later iterations replay it and re-run kernels
+  /// value-only.
+  bool device_loop = false;
 };
 
 template <class T>
@@ -66,14 +75,15 @@ AppResult<T> power_method(spmv::SpmvEngine<T>& engine,
   std::vector<T> v(n, n == 0 ? T{0}
                              : static_cast<T>(1.0 / std::sqrt(
                                                   static_cast<double>(n))));
-  const double spmv_s = engine.spmv_seconds();
+  const double spmv_s = cfg.device_loop ? 0.0 : engine.spmv_seconds();
   // Per iteration: SpMV, then the norm reduction + scale (2 passes over
   // ~3n values) and the distance reduction.
   const double aux_s =
       aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
   std::vector<T> y;
   for (int k = 0; k < cfg.max_iters; ++k) {
-    engine.apply(v, y);
+    const double t = cfg.device_loop ? engine.simulate(v, y)
+                                     : (engine.apply(v, y), spmv_s);
     double norm = 0.0;
     for (const T& x : y)
       norm += static_cast<double>(x) * static_cast<double>(x);
@@ -81,8 +91,8 @@ AppResult<T> power_method(spmv::SpmvEngine<T>& engine,
     if (norm == 0.0) break;  // matrix annihilated the iterate
     for (auto& x : y) x = static_cast<T>(static_cast<double>(x) / norm);
     res.iterations = k + 1;
-    res.total_s += spmv_s + aux_s;
-    res.spmv_s += spmv_s;
+    res.total_s += t + aux_s;
+    res.spmv_s += t;
     const double dist = euclidean_distance(y, v);
     v.swap(y);
     if (dist < cfg.epsilon) {

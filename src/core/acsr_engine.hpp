@@ -301,17 +301,15 @@ class AcsrEngine final : public spmv::EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
     const auto nrows = static_cast<std::size_t>(host_.rows);
     const double t = launcher_->run(
         dev_csr_.row_off.cspan().subspan(0, nrows),
         dev_csr_.row_off.cspan().subspan(1, nrows), dev_csr_.col_idx.cspan(),
-        dev_csr_.vals.cspan(), x_dev.cspan(), y_dev.span(),
+        dev_csr_.vals.cspan(), x_dev, y_dev,
         &this->report_.last_run);
-    y = y_dev.host();
+    y = this->staged_y();
     return t;
   }
 

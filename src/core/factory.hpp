@@ -7,6 +7,7 @@
 
 #include "analysis/verify.hpp"
 #include "core/acsr_engine.hpp"
+#include "core/memo_engine.hpp"
 #include "spmv/bccoo_engine.hpp"
 #include "spmv/bcsr_engine.hpp"
 #include "spmv/brc_engine.hpp"
@@ -47,38 +48,47 @@ std::unique_ptr<spmv::SpmvEngine<T>> make_engine(const std::string& name,
   // it. Costs one cached-bool branch when the variable is unset.
   if (analysis::verify_enabled()) [[unlikely]]
     analysis::verify_engine_or_throw(name, dev.spec());
-  if (name == "csr-scalar")
-    return std::make_unique<spmv::CsrScalarEngine<T>>(dev, a);
-  if (name == "csr-vector")
-    return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a);
-  // The paper's "CSR" series: cuSPARSE-era csrmv with a fixed warp (32
-  // lanes) per row, which refetches sectors shared by adjacent short rows
-  // from different warps — the real penalty on power-law matrices.
-  if (name == "csr" || name == "csr-cusparse")
-    return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a, 32);
-  if (name == "ell") return std::make_unique<spmv::EllEngine<T>>(dev, a);
-  if (name == "coo") return std::make_unique<spmv::CooEngine<T>>(dev, a);
-  if (name == "hyb")
-    return std::make_unique<spmv::HybEngine<T>>(dev, a, cfg.hyb_breakeven);
-  if (name == "brc") return std::make_unique<spmv::BrcEngine<T>>(dev, a);
-  if (name == "bccoo")
-    return std::make_unique<spmv::BccooEngine<T>>(dev, a);
-  if (name == "tcoo") return std::make_unique<spmv::TcooEngine<T>>(dev, a);
-  if (name == "sic") return std::make_unique<spmv::SicEngine<T>>(dev, a);
-  if (name == "merge-csr")
-    return std::make_unique<spmv::MergeCsrEngine<T>>(dev, a);
-  if (name == "sell")
-    return std::make_unique<spmv::SellEngine<T>>(dev, a, cfg.sell_sigma);
-  if (name == "bcsr")
-    return std::make_unique<spmv::BcsrEngine<T>>(dev, a, cfg.bcsr_block);
-  if (name == "acsr")
-    return std::make_unique<AcsrEngine<T>>(dev, a, cfg.acsr);
-  if (name == "acsr-binning") {
-    AcsrOptions o = cfg.acsr;
-    o.binning.enable_dp = false;
-    return std::make_unique<AcsrEngine<T>>(dev, a, o);
-  }
-  ACSR_REQUIRE(false, "unknown SpMV engine '" << name << "'");
+  auto build = [&]() -> std::unique_ptr<spmv::SpmvEngine<T>> {
+    if (name == "csr-scalar")
+      return std::make_unique<spmv::CsrScalarEngine<T>>(dev, a);
+    if (name == "csr-vector")
+      return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a);
+    // The paper's "CSR" series: cuSPARSE-era csrmv with a fixed warp (32
+    // lanes) per row, which refetches sectors shared by adjacent short rows
+    // from different warps — the real penalty on power-law matrices.
+    if (name == "csr" || name == "csr-cusparse")
+      return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a, 32);
+    if (name == "ell") return std::make_unique<spmv::EllEngine<T>>(dev, a);
+    if (name == "coo") return std::make_unique<spmv::CooEngine<T>>(dev, a);
+    if (name == "hyb")
+      return std::make_unique<spmv::HybEngine<T>>(dev, a, cfg.hyb_breakeven);
+    if (name == "brc") return std::make_unique<spmv::BrcEngine<T>>(dev, a);
+    if (name == "bccoo")
+      return std::make_unique<spmv::BccooEngine<T>>(dev, a);
+    if (name == "tcoo") return std::make_unique<spmv::TcooEngine<T>>(dev, a);
+    if (name == "sic") return std::make_unique<spmv::SicEngine<T>>(dev, a);
+    if (name == "merge-csr")
+      return std::make_unique<spmv::MergeCsrEngine<T>>(dev, a);
+    if (name == "sell")
+      return std::make_unique<spmv::SellEngine<T>>(dev, a, cfg.sell_sigma);
+    if (name == "bcsr")
+      return std::make_unique<spmv::BcsrEngine<T>>(dev, a, cfg.bcsr_block);
+    if (name == "acsr")
+      return std::make_unique<AcsrEngine<T>>(dev, a, cfg.acsr);
+    if (name == "acsr-binning") {
+      AcsrOptions o = cfg.acsr;
+      o.binning.enable_dp = false;
+      return std::make_unique<AcsrEngine<T>>(dev, a, o);
+    }
+    ACSR_REQUIRE(false, "unknown SpMV engine '" << name << "'");
+  };
+  auto engine = build();
+  // Memo plane (ACSR_MEMO=1): wrap the engine so repeated simulate() calls
+  // replay the first call's metering (vgpu/memo.hpp). One cached-bool
+  // branch when the variable is unset.
+  if (vgpu::memo::memo_enabled()) [[unlikely]]
+    return std::make_unique<MemoEngine<T>>(std::move(engine));
+  return engine;
 }
 
 }  // namespace acsr::core

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/binning.hpp"
 #include "graph/dynamic.hpp"
@@ -66,6 +67,13 @@ class IncrementalCsr {
   /// Row lengths for (re)binning after an update.
   const std::vector<mat::offset_t>& row_lengths() const { return row_len_; }
 
+  /// Structure version: bumped by every apply_update (in-place merges,
+  /// relocations and overflow rebuilds alike — any of them can change
+  /// extents and therefore metering). Memoizing callers fold it into their
+  /// cache subkey so a structural change invalidates cached launch
+  /// sequences (vgpu/memo.hpp).
+  std::uint64_t version() const { return version_; }
+
   // Extent spans consumed by the ACSR kernels.
   vgpu::DeviceSpan<const mat::offset_t> row_begin() const {
     return begin_dev_.cspan();
@@ -101,6 +109,7 @@ class IncrementalCsr {
   /// PCIe; the paper's one-warp-per-row / lane-0-only kernel applies it.
   UpdateResult apply_update(const graph::UpdateBatch<T>& batch) {
     UpdateResult res;
+    ++version_;
     res.h2d_s = dev_.note_transfer(batch.bytes()).duration_s;
 
     // Overflow pre-pass: rows that might outgrow their slot (conservative:
@@ -337,6 +346,7 @@ class IncrementalCsr {
   }
 
   vgpu::Device& dev_;
+  std::uint64_t version_ = 0;
   double slack_factor_;
   double spare_factor_;
   UpdateKernelMode mode_;

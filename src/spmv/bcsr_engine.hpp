@@ -70,10 +70,8 @@ class BcsrEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
 
     // One warp per block-row: lanes split across the row's blocks, each
     // lane computing its block's bs x bs product for one output sub-row.
@@ -84,8 +82,8 @@ class BcsrEngine final : public EngineBase<T> {
     auto ro = broff_dev_.cspan();
     auto bc = bcol_dev_.cspan();
     auto bv = bval_dev_.cspan();
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto xs = x_dev;
+    auto ys = y_dev;
     const mat::index_t nbr = n_block_rows_;
     const int bs = bs_;
     const mat::index_t n_rows = host_.rows;
@@ -162,7 +160,7 @@ class BcsrEngine final : public EngineBase<T> {
           w.store(ys, rows_idx, vals_out, store_m);
         });
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return run.duration_s;
   }
 

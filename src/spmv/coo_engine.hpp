@@ -82,15 +82,13 @@ class CooEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == coo_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(coo_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(coo_.rows));
 
-    const vgpu::KernelRun zero = zero_fill(this->dev_, y_dev.span());
-    const vgpu::KernelRun run = run_kernel(x_dev.cspan(), y_dev.span());
+    const vgpu::KernelRun zero = zero_fill(this->dev_, y_dev);
+    const vgpu::KernelRun run = run_kernel(x_dev, y_dev);
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return vgpu::combine_sequential({zero, run});
   }
 

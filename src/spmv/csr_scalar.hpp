@@ -94,10 +94,8 @@ class CsrScalarEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
 
     const int block = 128;
     vgpu::LaunchConfig cfg;
@@ -109,15 +107,15 @@ class CsrScalarEngine final : public EngineBase<T> {
     auto re = dev_csr_.row_off.cspan().subspan(1, nrows);
     auto ci = dev_csr_.col_idx.cspan();
     auto va = dev_csr_.vals.cspan();
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto xs = x_dev;
+    auto ys = y_dev;
     const mat::index_t n = host_.rows;
     const vgpu::KernelRun run =
         this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
           csr_scalar_warp<T>(w, rs, re, ci, va, xs, ys, n);
         });
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return run.duration_s;
   }
 

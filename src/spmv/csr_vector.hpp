@@ -55,6 +55,40 @@ void csr_vector_warp(vgpu::Warp& w, int vec_size,
 
   const LaneArray<mat::offset_t> start = w.load(row_start, row, live);
   const LaneArray<mat::offset_t> end = w.load(row_end, row, live);
+
+  // Value plane only (memo replay): the same arithmetic in the same order
+  // as the SIMT walk below — per-lane stride-V accumulation, then the
+  // butterfly — without the per-step mask bookkeeping and LaneArray
+  // traffic. Bit-identity with the metered path is pinned by the memoized
+  // mode of test_metering_invariance.cpp and the differential fuzz.
+  if (w.value_only()) [[unlikely]] {
+    T sum[vgpu::kWarpSize] = {};
+    for (Mask rem = live; rem != 0; rem &= rem - 1) {
+      const int l = std::countr_zero(rem);
+      T acc{};
+      const auto e = end[l];
+      for (mat::offset_t j = start[l] + sub[l]; j < e;
+           j += static_cast<mat::offset_t>(vec_size))
+        acc += vals[static_cast<std::size_t>(j)] *
+               x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+      sum[l] = acc;
+    }
+    // reduce_add(sum, live, vec_size): inactive lanes are already zero.
+    for (int d = vec_size / 2; d > 0; d /= 2) {
+      T o[vgpu::kWarpSize];
+      for (int lane = 0; lane < vgpu::kWarpSize; ++lane) {
+        const int group_end = (lane / vec_size) * vec_size + vec_size;
+        const int src = lane + d;
+        o[lane] = (src < group_end) ? sum[src] : sum[lane];
+      }
+      for (int lane = 0; lane < vgpu::kWarpSize; ++lane)
+        sum[lane] = sum[lane] + o[lane];
+    }
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(live, l) && sub[l] == 0)
+        y[static_cast<std::size_t>(row[l])] = sum[l];
+    return;
+  }
   w.count_alu(3);
 
   LaneArray<mat::offset_t> i;
@@ -144,10 +178,8 @@ class CsrVectorEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
 
     const int rows_per_warp = vgpu::kWarpSize / vec_size_;
     const long long warps_needed =
@@ -165,8 +197,8 @@ class CsrVectorEngine final : public EngineBase<T> {
     auto re = dev_csr_.row_off.cspan().subspan(1, nrows);
     auto ci = dev_csr_.col_idx.cspan();
     auto va = dev_csr_.vals.cspan();
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto xs = x_dev;
+    auto ys = y_dev;
     const long long n = host_.rows;
     const int v = vec_size_;
     const vgpu::KernelRun run =
@@ -178,7 +210,7 @@ class CsrVectorEngine final : public EngineBase<T> {
                              first);
         });
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return run.duration_s;
   }
 

@@ -70,10 +70,8 @@ class EllEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == ell_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(ell_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(ell_.rows));
 
     const int block = 128;
     vgpu::LaunchConfig cfg;
@@ -82,8 +80,8 @@ class EllEngine final : public EngineBase<T> {
     cfg.grid_dim = std::max<long long>(1, (ell_.rows + block - 1) / block);
     auto ci = col_dev_.cspan();
     auto va = val_dev_.cspan();
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto xs = x_dev;
+    auto ys = y_dev;
     const mat::index_t n = ell_.rows;
     const mat::index_t k = ell_.width;
     const vgpu::KernelRun run =
@@ -91,7 +89,7 @@ class EllEngine final : public EngineBase<T> {
           ell_warp<T>(w, ci, va, xs, ys, n, k);
         });
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return run.duration_s;
   }
 

@@ -12,6 +12,7 @@
 // and iterative apps run many SpMVs against a resident matrix (Fig. 6).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -101,8 +102,46 @@ class EngineBase : public SpmvEngine<T> {
     report_.h2d_s += dev_.note_transfer(bytes).duration_s;
   }
 
+  /// Stage x into the engine's persistent input scratch buffer (allocated
+  /// on first use, reused afterwards). Reuse keeps the device addresses of
+  /// x and y fixed across simulate() calls, so sector-cache collision
+  /// patterns against the resident matrix — and with them every Counters
+  /// field — are iteration-stationary. That is a hard requirement of the
+  /// memo layer (vgpu/memo.hpp): a captured launch record must equal what
+  /// re-simulation would produce at *any* later iteration. Under the
+  /// sanitizer or fault injection a fresh buffer is allocated per call,
+  /// preserving precise shadow state and flip-target registration
+  /// (memoization is bypassed on those planes anyway).
+  vgpu::DeviceSpan<const T> stage_x(const std::vector<T>& x) {
+    if (!x_scratch_.valid() || x_scratch_.size() != x.size() ||
+        vgpu::sanitizer_enabled() || vgpu::fault_injection_enabled())
+      x_scratch_ = dev_.template alloc<T>(x.size(), "x");
+    x_scratch_.host() = x;
+    return x_scratch_.cspan();
+  }
+
+  /// Output counterpart of stage_x: the returned span starts zero-filled
+  /// host-side, exactly as a freshly allocated buffer would.
+  vgpu::DeviceSpan<T> stage_y(std::size_t n) {
+    if (!y_scratch_.valid() || y_scratch_.size() != n ||
+        vgpu::sanitizer_enabled() || vgpu::fault_injection_enabled()) {
+      y_scratch_ = dev_.template alloc<T>(n, "y");
+    } else {
+      auto& h = y_scratch_.host();
+      std::fill(h.begin(), h.end(), T{0});
+    }
+    return y_scratch_.span();
+  }
+
+  /// Host view of the staged output after the kernels ran.
+  const std::vector<T>& staged_y() const { return y_scratch_.host(); }
+
   vgpu::Device& dev_;
   EngineReport report_;
+
+ private:
+  vgpu::DeviceBuffer<T> x_scratch_;
+  vgpu::DeviceBuffer<T> y_scratch_;
 };
 
 /// Round up to the next power of two (thread-group sizing).

@@ -40,12 +40,10 @@ class HybEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == hyb_.cols());
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(hyb_.rows()), "y");
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(hyb_.rows()));
+    auto xs = x_dev;
+    auto ys = y_dev;
 
     std::vector<vgpu::KernelRun> runs;
 
@@ -90,7 +88,7 @@ class HybEngine final : public EngineBase<T> {
     }
     agg.name = "hyb";
     this->report_.last_run = agg;
-    y = y_dev.host();
+    y = this->staged_y();
     return vgpu::combine_sequential(runs);
   }
 

@@ -47,10 +47,8 @@ class MergeCsrEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
 
     const long long total_items =
         static_cast<long long>(host_.rows) + host_.nnz();
@@ -65,8 +63,8 @@ class MergeCsrEngine final : public EngineBase<T> {
     auto re = dev_csr_.row_off.cspan().subspan(1, nrows);  // row end offsets
     auto ci = dev_csr_.col_idx.cspan();
     auto va = dev_csr_.vals.cspan();
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto xs = x_dev;
+    auto ys = y_dev;
     const long long n_rows = host_.rows;
     const long long n_nnz = host_.nnz();
     const int ipl = ipl_;
@@ -77,7 +75,7 @@ class MergeCsrEngine final : public EngineBase<T> {
           merge_warp(w, re, ci, va, xs, ys, n_rows, n_nnz, ipl);
         });
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return vgpu::combine_sequential({zero, run});
   }
 

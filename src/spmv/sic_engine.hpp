@@ -70,10 +70,8 @@ class SicEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
 
     const long long n_blocks = static_cast<long long>(block_width_.size());
     vgpu::LaunchConfig cfg;
@@ -86,8 +84,8 @@ class SicEngine final : public EngineBase<T> {
     auto bw = bw_dev_.cspan();
     auto sc = scol_dev_.cspan();
     auto sv = sval_dev_.cspan();
-    auto xs = x_dev.cspan();
-    auto ys = y_dev.span();
+    auto xs = x_dev;
+    auto ys = y_dev;
     const long long n_slots = static_cast<long long>(row_of_slot_.size());
 
     const vgpu::KernelRun run =
@@ -135,7 +133,7 @@ class SicEngine final : public EngineBase<T> {
           w.store(ys, out_row, sum, live);
         });
     this->report_.last_run = run;
-    y = y_dev.host();
+    y = this->staged_y();
     return run.duration_s;
   }
 

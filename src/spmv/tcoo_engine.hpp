@@ -43,14 +43,12 @@ class TcooEngine final : public EngineBase<T> {
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
     ACSR_CHECK(static_cast<mat::index_t>(x.size()) == host_.cols);
-    auto x_dev = this->dev_.template alloc<T>(x.size(), "x");
-    x_dev.host() = x;
-    auto y_dev = this->dev_.template alloc<T>(
-        static_cast<std::size_t>(host_.rows), "y");
+    auto x_dev = this->stage_x(x);
+    auto y_dev = this->stage_y(static_cast<std::size_t>(host_.rows));
     const double t = run_tiles(row_dev_.cspan(), col_dev_.cspan(),
-                               val_dev_.cspan(), x_dev.cspan(),
-                               y_dev.span());
-    y = y_dev.host();
+                               val_dev_.cspan(), x_dev,
+                               y_dev);
+    y = this->staged_y();
     return t;
   }
 

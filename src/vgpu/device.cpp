@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "prof/prof.hpp"
+#include "vgpu/memo.hpp"
 #include "vgpu/sanitizer.hpp"
 
 namespace acsr::vgpu {
@@ -83,6 +84,14 @@ KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
   ACSR_CHECK_MSG(cfg.block_dim >= 1 &&
                      cfg.block_dim <= spec_.max_threads_per_block,
                  "bad block_dim " << cfg.block_dim << " for " << cfg.name);
+
+  // Memoized replay (vgpu/memo.hpp): the metering for this launch is
+  // cached — re-run the kernel value-only and return the cached record.
+  // A session is never active while the sanitizer, profiler, reference
+  // metering or fault injection own the run (memo::plane_bypassed()).
+  if (memo_session_ != nullptr &&
+      memo_session_->kind == memo::Session::Kind::kReplay) [[unlikely]]
+    return memo_replay(cfg, fn);
 
   // Fault hook, before the sanitizer's begin_launch so a throw here cannot
   // leave an unbalanced sanitizer epoch. Counts only host-side launches:
@@ -208,7 +217,58 @@ KernelRun Device::launch(const LaunchConfig& cfg, KernelRef fn,
         spec_.name, run, lanes, std::move(child_info),
         prof::host_now_ns() - t0_ns, std::move(sm_s));
   }
+  if (memo_session_ != nullptr) [[unlikely]]
+    memo_session_->entry->launches.push_back(
+        {cfg.name, cfg.grid_dim, cfg.block_dim, run});
   return run;
+}
+
+KernelRun Device::memo_replay(const LaunchConfig& cfg, const KernelRef& fn) {
+  memo::Session& sess = *memo_session_;
+  ACSR_CHECK_MSG(sess.cursor < sess.entry->launches.size(),
+                 "memo replay has no record left for kernel '" << cfg.name
+                                                               << "'");
+  const memo::LaunchRecord& rec = sess.entry->launches[sess.cursor++];
+  ACSR_CHECK_MSG(rec.name == cfg.name && rec.grid_dim == cfg.grid_dim &&
+                     rec.block_dim == cfg.block_dim,
+                 "memo replay mismatch: cached '"
+                     << rec.name << "' (" << rec.grid_dim << 'x'
+                     << rec.block_dim << ") vs launched '" << cfg.name
+                     << "' (" << cfg.grid_dim << 'x' << cfg.block_dim
+                     << ')');
+
+  // Value plane only: the same grid walk as the metered path (including
+  // dynamic-parallelism children, which belong to this logical launch),
+  // with every probe/charge skipped via env.value_only.
+  KernelEnv env;
+  env.spec = &spec_;
+  // No sm_issue_cycles allocation: Warp::finish / Block::sync return early
+  // under value_only, so nothing indexes it during replay.
+  env.sanitize = false;
+  env.fast_path = true;
+  env.value_only = true;
+
+  auto run_grid = [&](const LaunchConfig& gc, const KernelRef& gf) {
+    for (long long b = 0; b < gc.grid_dim; ++b) {
+      Block blk(env, b, gc.block_dim, gc.grid_dim, 0);
+      gf(blk);
+    }
+  };
+  std::vector<ChildLaunch> work;
+  auto drain_children = [&] {
+    if (env.pending_children.empty()) return;
+    work.reserve(work.size() + env.pending_children.size());
+    for (auto& ch : env.pending_children) work.push_back(std::move(ch));
+    env.pending_children.clear();
+  };
+  run_grid(cfg, fn);
+  drain_children();
+  for (std::size_t wi = 0; wi < work.size(); ++wi) {
+    const ChildLaunch item = std::move(work[wi]);
+    run_grid(item.cfg, KernelRef(item.fn));
+    drain_children();
+  }
+  return rec.run;
 }
 
 }  // namespace acsr::vgpu

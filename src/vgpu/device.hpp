@@ -12,6 +12,10 @@
 
 namespace acsr::vgpu {
 
+namespace memo {
+struct Session;
+}  // namespace memo
+
 /// A host<->device transfer event.
 struct TransferRun {
   std::size_t bytes = 0;
@@ -107,6 +111,13 @@ class Device {
     return launch(cfg, KernelRef(body), group_l2);
   }
 
+  /// Active memoization session (vgpu/memo.hpp), installed by
+  /// memo::SessionScope for the duration of one memoized execution.
+  /// Capture appends each launch's finalized KernelRun to the session's
+  /// entry; replay re-runs kernels value-only and returns the cached run.
+  memo::Session* memo_session() const { return memo_session_; }
+  void set_memo_session(memo::Session* s) { memo_session_ = s; }
+
   // Cumulative transfer accounting (reset per experiment).
   double transfer_seconds() const { return transfer_seconds_; }
   std::uint64_t transfer_bytes() const { return transfer_bytes_; }
@@ -122,11 +133,17 @@ class Device {
                          ")");
   }
 
+  /// Consume the next captured record of the active replay session:
+  /// validate it against `cfg`, re-run the kernel value-only for y, and
+  /// return the cached KernelRun (defined in device.cpp).
+  KernelRun memo_replay(const LaunchConfig& cfg, const KernelRef& fn);
+
   DeviceSpec spec_;
   MemoryArena arena_;
   double transfer_seconds_ = 0.0;
   std::uint64_t transfer_bytes_ = 0;
   bool lost_ = false;
+  memo::Session* memo_session_ = nullptr;
 };
 
 /// Kernels issued on independent streams that execute concurrently on one

@@ -172,6 +172,11 @@ struct KernelEnv {
   // fast path may run (never under the sanitizer or reference metering).
   bool sanitize = sanitizer_enabled();
   bool fast_path = !sanitize && !reference_metering();
+  // Memoized replay (vgpu/memo.hpp): execute the value plane only. Every
+  // memory primitive routes to a plain checked fill — no cache probes, no
+  // group-L2 inserts, no Counters charges — because the launch's metering
+  // is replayed from the memo cache instead of being recomputed.
+  bool value_only = false;
   // Epoch-stamped tag arrays shared by all warps of this launch.
   SectorCacheState gmem_cache_state;
   SectorCacheState tex_cache_state;
@@ -209,6 +214,10 @@ class Warp {
   }
   /// Lanes that correspond to live threads of this block.
   Mask active_mask() const { return initial_mask_; }
+  /// True while a memo replay runs this kernel (vgpu/memo.hpp): metering
+  /// comes from the cache, so kernels may take value-plane shortcuts as
+  /// long as every result stays bit-identical.
+  bool value_only() const { return env_.value_only; }
   LaneArray<int> lanes() const { return LaneArray<int>::iota(); }
   /// Global linear thread id per lane.
   LaneArray<long long> global_threads() const {
@@ -257,6 +266,8 @@ class Warp {
   template <class T, class I>
   LaneArray<T> load_gather(DeviceSpan<const T> s, const LaneArray<I>& idx,
                            Mask m, bool allow_group) {
+    if (env_.value_only) [[unlikely]]
+      return gather_plain(s, idx, m);
     if (env_.fast_path && m != 0 && is_prefix_mask(m)) {
       long long base, step;
       const int n = active_lanes(m);
@@ -320,6 +331,10 @@ class Warp {
   void load_pair(DeviceSpan<const A> a, DeviceSpan<const B> b,
                  const LaneArray<I>& idx, Mask m, LaneArray<A>& ra,
                  LaneArray<B>& rb) {
+    if (env_.value_only) [[unlikely]] {
+      gather_pair_plain(a, b, idx, m, ra, rb);
+      return;
+    }
     if (m == 0 || env_.sanitize) {
       ra = load(a, idx, m);
       rb = load(b, idx, m);
@@ -382,6 +397,10 @@ class Warp {
   template <class T, class I>
   void store(DeviceSpan<T> s, const LaneArray<I>& idx, const LaneArray<T>& v,
              Mask m) {
+    if (env_.value_only) [[unlikely]] {
+      scatter_plain(s, idx, v, m);
+      return;
+    }
     if (env_.fast_path && m != 0 && is_prefix_mask(m)) {
       long long base, step;
       const int n = active_lanes(m);
@@ -427,6 +446,8 @@ class Warp {
   /// Uniform (warp-wide broadcast) load of a single element.
   template <class T>
   T load_scalar(DeviceSpan<const T> s, std::size_t i) {
+    if (env_.value_only) [[unlikely]]
+      return s[i];
     // One lane's worth of data serves the whole warp (broadcast), so the
     // profiler sees active=1 and sizeof(T) useful bytes.
     account_gmem(1, 1, sizeof(T));
@@ -440,6 +461,8 @@ class Warp {
   template <class T, class I>
   LaneArray<T> load_tex(DeviceSpan<const T> s, const LaneArray<I>& idx,
                         Mask m) {
+    if (env_.value_only) [[unlikely]]
+      return gather_plain(s, idx, m);
     if (env_.fast_path && m != 0 && is_prefix_mask(m)) {
       long long base, step;
       const int n = active_lanes(m);
@@ -482,6 +505,15 @@ class Warp {
   template <class T, class I>
   void atomic_add(DeviceSpan<T> s, const LaneArray<I>& idx,
                   const LaneArray<T>& v, Mask m) {
+    if (env_.value_only) [[unlikely]] {
+      // Same ascending-lane application order as the metered loop below,
+      // so duplicate-index accumulation is bit-identical.
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int lane = std::countr_zero(rem);
+        s[static_cast<std::size_t>(idx[lane])] += v[lane];
+      }
+      return;
+    }
     std::uint64_t addrs[kWarpSize];
     int n = 0;
     std::uint64_t dups = 0;
@@ -710,6 +742,7 @@ class Warp {
 
   // Called by Block::each_warp after the warp body completes.
   void finish(int sm) {
+    if (env_.value_only) [[unlikely]] return;  // metering replayed from cache
     env_.counters.warps += 1;
     env_.counters.issue_cycles += issue_;
     env_.sm_issue_cycles[static_cast<std::size_t>(sm)] +=
@@ -841,6 +874,94 @@ class Warp {
     return r;
   }
 
+  /// Value-only gather: one range check, a lane fill, nothing else. Keeps
+  /// the unit-stride memcpy of the affine path (the dominant gather shape)
+  /// but skips every probe and charge — the metering for this launch is
+  /// replayed from the memo cache.
+  template <class T, class I>
+  LaneArray<T> gather_plain(DeviceSpan<const T> s, const LaneArray<I>& idx,
+                            Mask m) {
+    LaneArray<T> r{};
+    if (m == 0) return r;
+    // Affine probe first: the unit-stride case range-checks [base, base+n)
+    // directly and never pays the per-lane min/max scan.
+    if (is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) && step == 1) {
+        s.check_range(base, base + n - 1);
+        const T* p = s.data();
+        std::copy(p + base, p + base + n, r.v.begin());
+        return r;
+      }
+    }
+    const auto [lo, hi] = lane_index_range(idx, m);
+    s.check_range(lo, hi);
+    const T* p = s.data();
+    for (Mask rem = m; rem != 0; rem &= rem - 1) {
+      const int lane = std::countr_zero(rem);
+      r[lane] = p[static_cast<std::size_t>(idx[lane])];
+    }
+    return r;
+  }
+
+  /// Value-only fused gather: one mask decode and one affine probe serve
+  /// both spans of the CSR col_idx + vals pattern.
+  template <class A, class B, class I>
+  void gather_pair_plain(DeviceSpan<const A> a, DeviceSpan<const B> b,
+                         const LaneArray<I>& idx, Mask m, LaneArray<A>& ra,
+                         LaneArray<B>& rb) {
+    ra = {};
+    rb = {};
+    if (m == 0) return;
+    if (is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) && step == 1) {
+        a.check_range(base, base + n - 1);
+        b.check_range(base, base + n - 1);
+        std::copy(a.data() + base, a.data() + base + n, ra.v.begin());
+        std::copy(b.data() + base, b.data() + base + n, rb.v.begin());
+        return;
+      }
+    }
+    const auto [lo, hi] = lane_index_range(idx, m);
+    a.check_range(lo, hi);
+    b.check_range(lo, hi);
+    const A* pa = a.data();
+    const B* pb = b.data();
+    for (Mask rem = m; rem != 0; rem &= rem - 1) {
+      const int lane = std::countr_zero(rem);
+      const auto i = static_cast<std::size_t>(idx[lane]);
+      ra[lane] = pa[i];
+      rb[lane] = pb[i];
+    }
+  }
+
+  /// Value-only scatter counterpart of gather_plain. Ascending lane order
+  /// matches both metered paths, so step-0 overwrites land identically.
+  template <class T, class I>
+  void scatter_plain(DeviceSpan<T> s, const LaneArray<I>& idx,
+                     const LaneArray<T>& v, Mask m) {
+    if (m == 0) return;
+    if (is_prefix_mask(m)) {
+      long long base, step;
+      const int n = active_lanes(m);
+      if (affine_prefix(idx, n, &base, &step) && step == 1) {
+        s.check_range(base, base + n - 1);
+        std::copy(v.v.begin(), v.v.begin() + n, s.data() + base);
+        return;
+      }
+    }
+    const auto [lo, hi] = lane_index_range(idx, m);
+    s.check_range(lo, hi);
+    T* p = s.data();
+    for (Mask rem = m; rem != 0; rem &= rem - 1) {
+      const int lane = std::countr_zero(rem);
+      p[static_cast<std::size_t>(idx[lane])] = v[lane];
+    }
+  }
+
   static void note_segment(std::uint64_t* segs, int& n, std::uint64_t seg) {
     for (int k = 0; k < n; ++k)
       if (segs[k] == seg) return;
@@ -961,6 +1082,7 @@ class Block {
 
   /// Explicit barrier marker: charges one issue per warp.
   void sync() {
+    if (env_.value_only) [[unlikely]] return;  // metering replayed from cache
     env_.counters.issue_cycles +=
         static_cast<std::uint64_t>(warps_per_block());
     env_.sm_issue_cycles[static_cast<std::size_t>(sm_)] +=

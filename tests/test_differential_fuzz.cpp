@@ -21,6 +21,13 @@
 // the surviving format, or a typed recoverable error with device
 // attribution. Never a crash, never a silent wrong answer.
 // ACSR_FAULT_FUZZ overrides the plan count (default 200).
+//
+// A third mode fuzzes the *memo plane* (ACSR_MEMO, src/vgpu/memo.hpp):
+// random matrices and engines driven through multi-iteration solve
+// sequences — and, for the dynamic path, random update/solve
+// interleavings over IncrementalCsr — must produce bit-identical results,
+// durations, and Counters with memoization on and off.
+// ACSR_MEMO_FUZZ overrides the case count (default 40).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -34,11 +41,14 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/factory.hpp"
+#include "core/incremental_csr.hpp"
 #include "core/resilient.hpp"
+#include "graph/dynamic.hpp"
 #include "graph/powerlaw.hpp"
 #include "graph/rmat.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/fault.hpp"
+#include "vgpu/memo.hpp"
 #include "vgpu/sanitizer.hpp"
 
 namespace {
@@ -422,6 +432,224 @@ TEST(DifferentialFuzz, RandomFaultPlansRecoverOrFailTyped) {
   std::cout << "[fault-fuzz] " << n_cases << " plans, " << recovered
             << " recovered bit-correct, " << typed_escapes
             << " typed escapes (seed " << seed << ")\n";
+}
+
+// ---------------------------------------------------------------------------
+// Memo-plane fuzz.
+
+#define EXPECT_COUNTER_EQ(field) \
+  EXPECT_EQ(off.field, on.field) << "counter '" #field "' diverges"
+
+void expect_counters_equal(const acsr::vgpu::Counters& off,
+                           const acsr::vgpu::Counters& on) {
+  EXPECT_COUNTER_EQ(blocks);
+  EXPECT_COUNTER_EQ(warps);
+  EXPECT_COUNTER_EQ(issue_cycles);
+  EXPECT_COUNTER_EQ(sp_flops);
+  EXPECT_COUNTER_EQ(dp_flops);
+  EXPECT_COUNTER_EQ(gmem_requests);
+  EXPECT_COUNTER_EQ(gmem_transactions);
+  EXPECT_COUNTER_EQ(gmem_bytes);
+  EXPECT_COUNTER_EQ(tex_requests);
+  EXPECT_COUNTER_EQ(tex_transactions);
+  EXPECT_COUNTER_EQ(tex_bytes);
+  EXPECT_COUNTER_EQ(shuffle_ops);
+  EXPECT_COUNTER_EQ(smem_accesses);
+  EXPECT_COUNTER_EQ(atomic_ops);
+  EXPECT_COUNTER_EQ(atomic_conflicts);
+  EXPECT_COUNTER_EQ(child_launches);
+  EXPECT_COUNTER_EQ(child_blocks);
+}
+
+#undef EXPECT_COUNTER_EQ
+
+/// One multi-iteration solve sequence of `engine_name` on `a`: per-iter
+/// simulated seconds and result vectors, plus the last run's counters.
+struct SolveTrace {
+  std::vector<double> ts;
+  std::vector<std::vector<double>> ys;
+  acsr::vgpu::KernelRun last;
+  bool skipped = false;
+};
+
+SolveTrace run_solve_sequence(const Csr<double>& a, const char* engine_name,
+                              const std::vector<std::vector<double>>& xs) {
+  SolveTrace tr;
+  Device dev(DeviceSpec::gtx_titan());
+  EngineConfig cfg;
+  cfg.hyb_breakeven = 64;
+  std::unique_ptr<acsr::spmv::SpmvEngine<double>> engine;
+  try {
+    engine = make_engine<double>(engine_name, dev, a, cfg);
+  } catch (const acsr::InputError&) {
+    EXPECT_STREQ(engine_name, "ell");
+    tr.skipped = true;
+    return tr;
+  }
+  for (const auto& x : xs) {
+    std::vector<double> y;
+    tr.ts.push_back(engine->simulate(x, y));
+    tr.ys.push_back(std::move(y));
+  }
+  tr.last = engine->report().last_run;
+  return tr;
+}
+
+// Memoized multi-iteration solves (replay from iteration 2 on) must be
+// observationally indistinguishable from unmemoized ones: same results,
+// same durations, same counters, bit for bit.
+TEST(DifferentialFuzz, MemoizedSolveSequencesMatchUnmemoizedExactly) {
+  const std::uint64_t seed = env_u64("ACSR_FUZZ_SEED", 2014);
+  const std::size_t n_cases =
+      static_cast<std::size_t>(env_u64("ACSR_MEMO_FUZZ", 40));
+  const Rng root(seed ^ 0x3e30);
+
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    Rng rng = root.split(i + 1);
+    std::string family;
+    const Csr<double> a = make_fuzz_matrix(i, root.split(i + 1), &family);
+    a.validate();
+    const char* engine_name = kEngines[rng.next_below(std::size(kEngines))];
+    SCOPED_TRACE("case #" + std::to_string(i) + " [" + family +
+                 "] engine " + engine_name + " seed " + std::to_string(seed));
+
+    const int iters = 2 + static_cast<int>(rng.next_below(3));
+    std::vector<std::vector<double>> xs;
+    for (int k = 0; k < iters; ++k) {
+      std::vector<double> x(static_cast<std::size_t>(a.cols));
+      for (auto& v : x) v = rng.next_double(0.5, 1.5);
+      xs.push_back(std::move(x));
+    }
+
+    acsr::vgpu::memo::set_memo_enabled(false);
+    const SolveTrace off = run_solve_sequence(a, engine_name, xs);
+    acsr::vgpu::memo::MemoCache::instance().clear();
+    acsr::vgpu::memo::set_memo_enabled(true);
+    const SolveTrace on = run_solve_sequence(a, engine_name, xs);
+    acsr::vgpu::memo::set_memo_enabled(false);
+    acsr::vgpu::memo::MemoCache::instance().clear();
+
+    ASSERT_EQ(off.skipped, on.skipped);
+    if (off.skipped) continue;
+    EXPECT_EQ(off.ts, on.ts) << "simulated durations diverge";
+    ASSERT_EQ(off.ys.size(), on.ys.size());
+    for (std::size_t k = 0; k < off.ys.size(); ++k)
+      EXPECT_EQ(off.ys[k], on.ys[k]) << "y diverges at iteration " << k;
+    {
+      const auto &off_run = off.last, &on_run = on.last;
+      expect_counters_equal(off_run.counters, on_run.counters);
+      EXPECT_EQ(off_run.duration_s, on_run.duration_s);
+    }
+    ++compared;
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  std::cout << "[memo-fuzz] " << n_cases << " cases, " << compared
+            << " compared memo-on vs memo-off (seed " << seed << ")\n";
+}
+
+// Dynamic path: random update/solve interleavings over IncrementalCsr,
+// the solver leg keyed by the structure version. Updates must invalidate
+// (key drift), solves between updates must replay, and the whole
+// observable trace must match an unmemoized run exactly.
+TEST(DifferentialFuzz, MemoizedUpdateSolveInterleavingsMatchExactly) {
+  const std::uint64_t seed = env_u64("ACSR_FUZZ_SEED", 2014);
+  const std::size_t n_cases =
+      static_cast<std::size_t>(env_u64("ACSR_MEMO_FUZZ", 40) / 4 + 1);
+  using acsr::core::AcsrLauncher;
+  using acsr::core::Binning;
+  using acsr::core::IncrementalCsr;
+
+  const Rng root(seed ^ 0xd9a1);
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    Rng rng = root.split(i + 1);
+    acsr::graph::PowerLawSpec s;
+    s.rows = 40 + static_cast<index_t>(rng.next_below(160));
+    s.cols = s.rows;
+    s.mean_nnz_per_row = rng.next_double(2.0, 8.0);
+    s.alpha = 1.6;
+    s.max_row_nnz = std::max<offset_t>(1, s.rows / 2);
+    s.seed = rng.next_u64();
+    Csr<double> a0 = acsr::graph::powerlaw_matrix(s);
+    for (auto& v : a0.vals) v = rng.next_double(0.5, 1.5);
+
+    // op sequence: true = solve, false = update (always starts with a
+    // solve so the capture/replay pair is exercised before the first
+    // invalidation).
+    std::vector<bool> ops = {true, true};
+    const int extra = 3 + static_cast<int>(rng.next_below(5));
+    for (int k = 0; k < extra; ++k) ops.push_back(rng.next_bool(0.55));
+    SCOPED_TRACE("case #" + std::to_string(i) + " rows " +
+                 std::to_string(s.rows) + " ops " + std::to_string(ops.size()) +
+                 " seed " + std::to_string(seed));
+
+    const auto n = static_cast<std::size_t>(a0.rows);
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.next_double(0.5, 1.5);
+
+    // Both runs replay this exact op/update schedule.
+    auto run_trace = [&](bool memo_on) {
+      acsr::vgpu::memo::MemoCache::instance().clear();
+      acsr::vgpu::memo::set_memo_enabled(memo_on);
+      std::vector<double> ts;
+      std::vector<std::vector<double>> ys;
+      Csr<double> current = a0;
+      Device dev(DeviceSpec::gtx_titan());
+      IncrementalCsr<double> inc(dev, current);
+      auto x_dev = dev.alloc<double>(n, "fuzz.x");
+      x_dev.host() = x;
+      auto y_dev = dev.alloc<double>(n, "fuzz.y");
+      acsr::core::AcsrOptions aopt;
+      acsr::core::BinningOptions bopt = aopt.binning;
+      bopt.enable_dp = dev.spec().supports_dynamic_parallelism();
+      auto make_launcher = [&] {
+        return std::make_unique<AcsrLauncher<double>>(
+            dev, Binning::build(inc.row_lengths(), bopt, nullptr), aopt);
+      };
+      auto launcher = make_launcher();
+      acsr::vgpu::memo::Memoizer memo(
+          acsr::vgpu::memo::spec_fingerprint(dev.spec()) + "|fuzz-dyn");
+      std::uint64_t update_seq = 0;
+      for (const bool is_solve : ops) {
+        if (is_solve) {
+          y_dev.host().assign(n, 0.0);
+          const double t = memo.run(
+              dev, "spmv@v" + std::to_string(inc.version()), [&] {
+                return launcher->run(inc.row_begin(), inc.row_end(),
+                                     inc.col_idx(), inc.vals(),
+                                     x_dev.cspan(), y_dev.span());
+              });
+          ts.push_back(t);
+          ys.push_back(y_dev.host());
+        } else {
+          acsr::graph::UpdateParams up;
+          up.seed = rng.next_u64() ^ ++update_seq;  // rng NOT shared: see below
+          acsr::graph::UpdateBatch<double> batch =
+              acsr::graph::generate_update(current, up);
+          acsr::graph::apply_update_host(current, batch);
+          inc.apply_update(batch);
+          launcher = make_launcher();  // re-bin after a structural change
+        }
+      }
+      acsr::vgpu::memo::set_memo_enabled(false);
+      acsr::vgpu::memo::MemoCache::instance().clear();
+      return std::make_pair(std::move(ts), std::move(ys));
+    };
+
+    // The lambda draws from `rng` for update seeds; fork identical copies
+    // so both runs generate identical batches.
+    Rng saved = rng;
+    const auto off = run_trace(false);
+    rng = saved;
+    const auto on = run_trace(true);
+
+    EXPECT_EQ(off.first, on.first) << "simulated durations diverge";
+    ASSERT_EQ(off.second.size(), on.second.size());
+    for (std::size_t k = 0; k < off.second.size(); ++k)
+      EXPECT_EQ(off.second[k], on.second[k])
+          << "y diverges at solve " << k;
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 }  // namespace

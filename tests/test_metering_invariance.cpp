@@ -3,7 +3,7 @@
 // Warp's affine-gather fast path, the epoch-stamped sector caches, and the
 // shared-memory arena are pure wall-clock optimisations: they must not
 // change a single metered event. This harness runs every registered engine
-// over seeded matrices spanning the structural space in three executor
+// over seeded matrices spanning the structural space in five executor
 // modes —
 //
 //   fast        the default: analytic affine gathers, range-checked
@@ -14,9 +14,13 @@
 //   profiled    ACSR_PROF semantics (set_profiler_enabled(true)): the
 //               fast path stays on and the profiler's lane tallies record
 //               to the side — metering must be unaffected
+//   memoized    ACSR_MEMO semantics (set_memo_enabled(true)): the first
+//               simulate captures per-launch metering, the second replays
+//               it and re-runs the kernels value-only; the *replayed*
+//               iteration is what gets compared here
 //
 // and asserts that the numeric result, every Counters field, and every
-// KernelRun roofline term are BIT-identical across the four.
+// KernelRun roofline term are BIT-identical across the five.
 //
 // Each run uses a fresh Device: MemoryArena address slices are spaced
 // 2^44 bytes apart, so corresponding buffers in consecutive arenas have
@@ -37,6 +41,7 @@
 #include "graph/rmat.hpp"
 #include "prof/prof.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/memo.hpp"
 #include "vgpu/sanitizer.hpp"
 
 namespace {
@@ -180,7 +185,7 @@ struct ModeResult {
   KernelRun run;
 };
 
-enum class Mode { kFast, kReference, kSanitized, kProfiled };
+enum class Mode { kFast, kReference, kSanitized, kProfiled, kMemoized };
 
 ModeResult run_mode(const Csr<double>& a, const char* engine_name,
                     const std::vector<double>& x, Mode mode) {
@@ -194,6 +199,11 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
     acsr::prof::Profiler::instance().clear();
     acsr::prof::set_profiler_enabled(true);
   }
+  if (mode == Mode::kMemoized) {
+    acsr::vgpu::memo::MemoCache::instance().clear();
+    acsr::vgpu::memo::MemoCache::instance().reset_stats();
+    acsr::vgpu::memo::set_memo_enabled(true);
+  }
 
   ModeResult res;
   {
@@ -203,6 +213,13 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
     try {
       auto engine = make_engine<double>(engine_name, dev, a, cfg);
       res.duration = engine->simulate(x, res.y);
+      if (mode == Mode::kMemoized) {
+        // The first simulate captured the launch metering; the second
+        // replays it (kernels re-run value-only, metering comes from the
+        // cache). The replayed iteration is the one under test.
+        res.y.clear();
+        res.duration = engine->simulate(x, res.y);
+      }
       res.run = engine->report().last_run;
     } catch (const acsr::InputError&) {
       EXPECT_STREQ(engine_name, "ell");
@@ -228,6 +245,17 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
     acsr::prof::set_profiler_enabled(false);
     acsr::prof::Profiler::instance().clear();
   }
+  if (mode == Mode::kMemoized) {
+    // The second simulate must have been served from the cache — if it
+    // missed, this mode silently degenerated into plain re-simulation and
+    // the comparison below would prove nothing.
+    const auto st = acsr::vgpu::memo::MemoCache::instance().stats();
+    EXPECT_TRUE(res.skipped || st.hits >= 1)
+        << "memoized replay never hit the cache (misses=" << st.misses
+        << " bypasses=" << st.bypasses << ")";
+    acsr::vgpu::memo::set_memo_enabled(false);
+    acsr::vgpu::memo::MemoCache::instance().clear();
+  }
   return res;
 }
 
@@ -250,9 +278,11 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
       const ModeResult ref = run_mode(a, engine_name, x, Mode::kReference);
       const ModeResult san = run_mode(a, engine_name, x, Mode::kSanitized);
       const ModeResult prof = run_mode(a, engine_name, x, Mode::kProfiled);
+      const ModeResult memo = run_mode(a, engine_name, x, Mode::kMemoized);
       ASSERT_EQ(fast.skipped, ref.skipped);
       ASSERT_EQ(fast.skipped, san.skipped);
       ASSERT_EQ(fast.skipped, prof.skipped);
+      ASSERT_EQ(fast.skipped, memo.skipped);
       if (fast.skipped) continue;
 
       // Numeric result: the fast path reads the same elements in the same
@@ -260,15 +290,18 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
       ASSERT_EQ(fast.y.size(), ref.y.size());
       ASSERT_EQ(fast.y.size(), san.y.size());
       ASSERT_EQ(fast.y.size(), prof.y.size());
+      ASSERT_EQ(fast.y.size(), memo.y.size());
       for (std::size_t r = 0; r < fast.y.size(); ++r) {
         EXPECT_EQ(fast.y[r], ref.y[r]) << "y diverges at row " << r;
         EXPECT_EQ(fast.y[r], san.y[r]) << "y diverges at row " << r;
         EXPECT_EQ(fast.y[r], prof.y[r]) << "y diverges at row " << r;
+        EXPECT_EQ(fast.y[r], memo.y[r]) << "y diverges at row " << r;
       }
 
       EXPECT_EQ(fast.duration, ref.duration);
       EXPECT_EQ(fast.duration, san.duration);
       EXPECT_EQ(fast.duration, prof.duration);
+      EXPECT_EQ(fast.duration, memo.duration);
       {
         SCOPED_TRACE("fast vs reference");
         const KernelRun &a_run = fast.run, &b_run = ref.run;
@@ -282,13 +315,17 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
         SCOPED_TRACE("fast vs profiled");
         expect_run_identical(fast.run, prof.run);
       }
+      {
+        SCOPED_TRACE("fast vs memoized replay");
+        expect_run_identical(fast.run, memo.run);
+      }
       ++compared;
     }
   }
   // The contract must have been exercised broadly, not vacuously skipped.
   EXPECT_GE(compared, matrices.size() * 14);
   std::cout << "[invariance] " << compared << " engine/matrix cells over "
-            << matrices.size() << " matrices, 4 modes each\n";
+            << matrices.size() << " matrices, 5 modes each\n";
 }
 
 /// The raw warp-level primitives, pinned directly: affine loads/stores at
