@@ -30,10 +30,13 @@
 
 #include "apps/cg.hpp"
 #include "apps/pagerank.hpp"
+#include "apps/rwr_batch.hpp"
 #include "core/factory.hpp"
 #include "graph/corpus.hpp"
+#include "mat/dense_block.hpp"
 #include "prof/capture.hpp"
 #include "prof/report.hpp"
+#include "serve/scheduler.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/memo.hpp"
 
@@ -88,6 +91,64 @@ void BM_SpmvExecutor(benchmark::State& state, const char* engine_name,
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(a.nnz()));
   state.counters["nnz"] = static_cast<double>(a.nnz());
+}
+
+/// Batched SpMM executor throughput vs batch width: one simulate_batch of
+/// `width` vectors per iteration. Items processed counts useful work
+/// (nnz x width), so items/s against `spmv_executor` shows directly how
+/// the executor amortizes per-launch overhead over a batch. The simulated
+/// side of the story (seconds and matrix bytes per vector, the paper-level
+/// win tracked in docs/PERF.md) is exported as counters from one profiled
+/// run after measurement.
+void BM_SpmmExecutor(benchmark::State& state, const char* engine_name,
+                     const char* matrix, int width) {
+  const Csr<double>& a = corpus_matrix(matrix);
+  Device dev(titan_spec());
+  auto engine = make_engine<double>(engine_name, dev, a, engine_config());
+  acsr::mat::DenseBlock<double> x(a.cols, width);
+  for (int c = 0; c < width; ++c)
+    for (acsr::mat::index_t r = 0; r < a.cols; ++r)
+      x.at(r, c) = 1.0 + 0.001 * c;
+  acsr::mat::DenseBlock<double> y;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->simulate_batch(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()) * width);
+  const double sim_s = engine->simulate_batch(x, y);
+  state.counters["width"] = width;
+  state.counters["sim_us_per_vec"] = sim_s * 1e6 / width;
+  state.counters["gmem_bytes_per_vec"] =
+      static_cast<double>(engine->report().last_run.counters.gmem_bytes) /
+      width;
+}
+
+/// Multi-tenant serving plane: the deterministic three-tenant scenario
+/// (apps/rwr_batch.hpp) pushed through the batch scheduler per iteration.
+/// The makespan counter is the simulated clock the tenants were billed
+/// against — max_batch_width 1 vs 32 shows the scheduler-level win.
+void BM_ServeScheduler(benchmark::State& state, int max_width) {
+  const Csr<double>& a = corpus_matrix("WIK");
+  Device dev(titan_spec());
+  auto engine = make_engine<double>("acsr", dev, a, engine_config());
+  double makespan = 0.0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    acsr::serve::ServeOptions opt;
+    opt.max_batch_width = max_width;
+    acsr::serve::BatchScheduler<double> sched(*engine, opt);
+    acsr::apps::run_tenant_scenario(sched, a.cols);
+    // No DoNotOptimize here: run_tenant_scenario drives the device through
+    // virtual engine calls (opaque to the optimizer), and routing `makespan`
+    // through DoNotOptimize's "+r" constraint corrupted the double before
+    // the post-loop counter read.
+    makespan = sched.clock_s();
+    requests = sched.served_requests();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests));
+  state.counters["max_width"] = max_width;
+  state.counters["sim_makespan_ms"] = makespan * 1e3;
 }
 
 /// Raw warp-gather micro: unit-stride (coalesced, the affine fast path's
@@ -262,6 +323,36 @@ void register_benches() {
       "spmv_executor/csr-scalar/ENR",
       [](benchmark::State& st) { BM_SpmvExecutor(st, "csr-scalar", "ENR"); })
       ->Unit(benchmark::kMillisecond);
+  // Throughput vs width on the paper's central workload: full sweep for
+  // the ACSR engine, anchor widths for the CSR baselines.
+  for (const int width : {1, 2, 4, 8, 16, 32, 64}) {
+    benchmark::RegisterBenchmark(
+        (std::string("spmm_executor/acsr/WIK/w") + std::to_string(width))
+            .c_str(),
+        [width](benchmark::State& st) {
+          BM_SpmmExecutor(st, "acsr", "WIK", width);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const char* e : {"csr-scalar", "csr-vector"}) {
+    for (const int width : {1, 8, 32}) {
+      benchmark::RegisterBenchmark(
+          (std::string("spmm_executor/") + e + "/WIK/w" +
+           std::to_string(width))
+              .c_str(),
+          [e, width](benchmark::State& st) {
+            BM_SpmmExecutor(st, e, "WIK", width);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (const int mw : {1, 32}) {
+    benchmark::RegisterBenchmark(
+        (std::string("serve_scheduler/acsr/WIK/w") + std::to_string(mw))
+            .c_str(),
+        [mw](benchmark::State& st) { BM_ServeScheduler(st, mw); })
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::RegisterBenchmark("warp_gather/affine", BM_WarpGatherAffine)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("warp_gather/scatter", BM_WarpGatherScatter)

@@ -61,6 +61,17 @@ for memo in 0 1; do
   ACSR_MEMO=$memo "$build/tests/test_memo" --gtest_brief=1
 done
 
+# The batched SpMM + serving plane (docs/SERVING.md): exactness across all
+# engines, the width-1/8/32 sector-byte amortization ladder, scheduler
+# coalescing/admission/priority, and the width-keyed memo contract — run
+# with the memo plane both off and on, since width-1 batches must share
+# the scalar "spmv" memo key in either world.
+echo "== spmm + serving plane (test_spmm, ACSR_MEMO=0 and 1)"
+for memo in 0 1; do
+  echo "   ACSR_MEMO=$memo"
+  ACSR_MEMO=$memo "$build/tests/test_spmm" --gtest_brief=1
+done
+
 echo "== differential fuzz (seed ${ACSR_FUZZ_SEED:-2014}, ${ACSR_FUZZ_MATRICES:-200} matrices)"
 ACSR_FUZZ_SEED="${ACSR_FUZZ_SEED:-2014}" \
 ACSR_FUZZ_MATRICES="${ACSR_FUZZ_MATRICES:-200}" \

@@ -14,7 +14,10 @@
 #      diverge on a field.
 #   4. Observability parity: every Counters field has a registered
 #      passthrough metric ("counters.<field>") in src/prof/metrics.cpp, so
-#      a new counter cannot ship invisible to acsr_prof / --diff.
+#      a new counter cannot ship invisible to acsr_prof / --diff. The same
+#      parity covers the serving plane: every prof::TenantAgg billing field
+#      must have a "tenant.<field>" passthrough, so a new billing column
+#      cannot ship invisible to acsr_prof --tenants.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -70,6 +73,22 @@ for f in $fields; do
   if ! grep -Eq "ACSR_COUNTER_METRIC\($f[,)]|counters\.$f\b" \
        src/prof/metrics.cpp; then
     echo "lint: Counters::$f has no 'counters.$f' passthrough metric" \
+         "registered in src/prof/metrics.cpp"
+    fail=1
+  fi
+done
+
+# The serving mirror: TenantAgg fields (uint64 and double) -> "tenant.<f>".
+tenant_fields=$(sed -n '/^struct TenantAgg {$/,/^};$/p' src/prof/metrics.hpp |
+  sed -n 's/^ *\(std::uint64_t\|double\) \([a-z_][a-z_0-9]*\) = .*/\2/p')
+if [ -z "$tenant_fields" ]; then
+  echo "lint: could not parse any TenantAgg fields from src/prof/metrics.hpp"
+  fail=1
+fi
+for f in $tenant_fields; do
+  if ! grep -Eq "ACSR_TENANT_METRIC\($f[,)]|\"tenant\.$f\"" \
+       src/prof/metrics.cpp; then
+    echo "lint: TenantAgg::$f has no 'tenant.$f' passthrough metric" \
          "registered in src/prof/metrics.cpp"
     fail=1
   fi

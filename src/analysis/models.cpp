@@ -56,6 +56,33 @@ AbsLanes minus(const AbsLanes& a, const Sym& s) {
   return r;
 }
 
+/// The x gather of the column-blocked SpMM kernels: the engines stage the
+/// input block as a packed row-major slab (EngineBase::stage_x_pack), so
+/// matrix column `col`'s k batch values are contiguous at xpack[col*k + c].
+/// One symbolic access with c in [0, k-1] stands for every tile column;
+/// the bounds proof hi = (n_cols-1)*k + (k-1) cancels exactly against the
+/// declared slab size n_cols*k.
+void model_spmm_x_gather(Verifier& v, AbsKernel& k, const AbsLanes& col) {
+  const Sym kk = v.p("k");
+  AbsLanes g = col;
+  g.range.lo = g.range.lo * kk;
+  g.range.hi = g.range.hi * kk + (kk - Sym(1));
+  k.load_tex(v.span("xpack"), g, "xpack[col*k + c] (c < k, col < n_cols)");
+}
+
+/// The y store counterpart: yb[c*(n_rows+ldy_pad) + row]. Distinctness is
+/// the batched kernels' ownership discipline — every (row, c) output slot
+/// is written by exactly one head lane of one tile (rows partition the
+/// warps exactly as in the scalar kernel; tiles partition the columns).
+void model_spmm_y_store(Verifier& v, AbsKernel& k, const AbsLanes& row,
+                        const std::string& desc) {
+  const Sym ldy = v.p("n_rows") + v.p("ldy_pad");
+  const AbsLanes s = AbsLanes::of_range(
+      AbsInt(row.range.lo, row.range.hi + (v.p("k") - Sym(1)) * ldy),
+      /*distinct=*/true);
+  k.store(v.span("yb"), s, desc);
+}
+
 /// The generic 32-lane strip of a sliced slab (BRC / SELL / SIC): slots
 /// base + j*32 + l for j in [0, w). One symbolic (base, w, rest) triple
 /// with slab size = base + 32*w + rest stands for every strip at once —
@@ -146,6 +173,20 @@ void model_csr_scalar(Verifier& v) {
     k.load_tex(v.span("x"), cv.first, "x[col]");
     k.store(v.span("y"), rows, "y[row] = sum (row < n_rows)");
   });
+  // The batched widening (csr_scalar.hpp csr_scalar_spmm_warp): same row
+  // walk, grid = row space x column tiles, per-column block accesses.
+  v.launch("csr_scalar_spmm", v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes rows = AbsLanes::of_range(
+        AbsInt(Sym(0), v.p("n_rows") - Sym(1)));  // live mask: row0 < n_rows
+    const AbsLanes start = k.load(v.span("row_start"), rows, "row_start[row0]");
+    const AbsLanes end = k.load(v.span("row_end"), rows, "row_end[row0]");
+    const AbsLanes cur = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), cur,
+                                "col_idx/vals[cur] (start <= cur < end)");
+    model_spmm_x_gather(v, k, cv.first);
+    model_spmm_y_store(v, k, rows, "yb[c*ldy + row0] = sum[c] (row0 < n_rows)");
+  });
 }
 
 /// Also the model for "csr"/"csr-cusparse" (same kernel, wider vec) and
@@ -165,6 +206,20 @@ void model_csr_vector(Verifier& v) {
                                 "col_idx/vals[i] (start <= i < end)");
     k.load_tex(v.span("x"), cv.first, "x[col]");
     k.store(v.span("y"), row, "y[row] = sum (heads)");
+  });
+  // Batched widening (csr_vector.hpp csr_vector_spmm_warp): the same row
+  // slots, one column tile per warp group, block accesses per column.
+  v.launch("csr_vector_spmm", v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes row = AbsLanes::of_range(
+        AbsInt(Sym(0), v.p("n_rows") - Sym(1)), /*distinct=*/true);
+    const AbsLanes start = k.load(v.span("row_start"), row, "row_start[row]");
+    const AbsLanes end = k.load(v.span("row_end"), row, "row_end[row]");
+    const AbsLanes i = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                "col_idx/vals[i] (start <= i < end)");
+    model_spmm_x_gather(v, k, cv.first);
+    model_spmm_y_store(v, k, row, "yb[c*ldy + row] = sum[c] (heads)");
   });
 }
 
@@ -341,6 +396,31 @@ void model_acsr(Verifier& v, bool enable_dp) {
     k.load_tex(v.span("x"), cv.first, "x[col]");
     k.store(v.span("y"), row, "y[bin_rows[slot]] = sum (heads)");
   });
+  // Batched bin grid (acsr_engine.hpp bin_spmm_warp): the same mapped-row
+  // walk, one column tile per warp group; the gathered x slice of the
+  // current column is staged through the warp's private 32-slot window of
+  // the block slab (4 warps x 32 slots, no sync — windows are disjoint).
+  v.launch("acsr_spmm_bin", v.p("grid"), 128, [&](AbsKernel& k) {
+    AbsSpan& xslab =
+        k.shared_alloc(Sym(128), 8, "blk.shared<T>(warps_per_block * 32)");
+    const AbsLanes slot = AbsLanes::of_range(
+        AbsInt(Sym(0), v.p("n_slots") - Sym(1)), /*distinct=*/true);
+    const AbsLanes row =
+        k.load(v.span("acsr.bin_rows"), slot, "bin_rows[slot]");
+    const AbsLanes start = k.load(v.span("row_start"), row, "row_start[row]");
+    const AbsLanes end = k.load(v.span("row_end"), row, "row_end[row]");
+    const AbsLanes i = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                "col_idx/vals[i] (start <= i < end)");
+    model_spmm_x_gather(v, k, cv.first);
+    k.store(xslab,
+            AbsLanes::of_range(AbsInt(Sym(0), Sym(127)), /*distinct=*/true),
+            "xslab[warp_in_block*32 + l] = xv[l] (warp-private window)");
+    k.load(xslab, AbsLanes::of_range(AbsInt(Sym(0), Sym(127))),
+           "xslab[warp_in_block*32 + l] (staged slice read-back)");
+    model_spmm_y_store(v, k, row, "yb[c*ldy + bin_rows[slot]] = sum (heads)");
+  });
   if (!enable_dp || !v.spec().supports_dynamic_parallelism()) return;
   v.launch("acsr_dp_parent", v.p("grid"), 32, [&](AbsKernel& k) {
     const Sym n_dp = v.p("n_dp");
@@ -377,6 +457,47 @@ void model_acsr(Verifier& v, bool enable_dp) {
                        "atomicAdd(&y[row], block_sum)");
         },
         "launch_row_child(row) x n_dp");
+  });
+  // Batched DP tail (acsr_engine.hpp launch_row_child_batch): one child
+  // grid per heavy row serves all k columns; the child loops column tiles
+  // with a barrier-separated two-phase shared reduction per tile.
+  v.launch("acsr_spmm_dp_parent", v.p("grid"), 32, [&](AbsKernel& k) {
+    const Sym n_dp = v.p("n_dp");
+    const AbsLanes tid = k.global_threads().guard_below(n_dp);
+    const AbsLanes row = k.load(v.span("acsr.dp_rows"), tid, "dp_rows[tid]");
+    k.load(v.span("row_start"), row, "row_start[row]");
+    k.load(v.span("row_end"), row, "row_end[row]");
+    // Parent clears every column's slot before launching the child (DP
+    // parent->child ordering, same as the scalar parent's y[row] = 0).
+    model_spmm_y_store(v, k, row, "yb[c*ldy + row] = 0 (before child)");
+    k.launch_child(
+        "acsr_spmm_row", n_dp, v.p("child_grid"), 256,
+        [&](AbsKernel& c) {
+          // warps_per_block * kSpmmTile partial slots (8 warps x 8 cols).
+          AbsSpan& partials = c.shared_alloc(
+              Sym(64), 8, "blk.shared<T>(warps_per_block * kSpmmTile)");
+          const AbsLanes i = AbsLanes::of_range(
+              AbsInt(Sym(0), v.p("nnz") - Sym(1)));
+          const auto cv = c.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                      "col_idx/vals[i] (start <= i < end)");
+          model_spmm_x_gather(v, c, cv.first);
+          c.store(partials,
+                  AbsLanes::of_range(AbsInt(Sym(0), Sym(63)),
+                                     /*distinct=*/true),
+                  "partials[c*warps + warp_in_block] = warp_sum[c]");
+          c.sync("blk.sync()");
+          c.load(partials, AbsLanes::of_range(AbsInt(Sym(0), Sym(63))),
+                 "partials[c*warps + p] (warp 0 fold)");
+          const Sym ldy = v.p("n_rows") + v.p("ldy_pad");
+          c.atomic_add(
+              v.span("yb"),
+              AbsLanes::of_range(AbsInt(
+                  Sym(0),
+                  v.p("n_rows") - Sym(1) + (v.p("k") - Sym(1)) * ldy)),
+              "atomicAdd(&yb[c*ldy + row], block_sum[c])");
+          c.sync("blk.sync() (WAR: partials reused by the next tile)");
+        },
+        "launch_row_child_batch(row) x n_dp");
   });
 }
 

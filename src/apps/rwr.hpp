@@ -4,8 +4,12 @@
 // probability, and e_i the indicator of the query node.
 #pragma once
 
+#include <cmath>
+#include <vector>
+
 #include "apps/power_method.hpp"
 #include "mat/csr.hpp"
+#include "mat/dense_block.hpp"
 
 namespace acsr::apps {
 
@@ -21,6 +25,77 @@ mat::Csr<T> rwr_matrix(const mat::Csr<T>& adjacency) {
   mat::Csr<T> w = adjacency;
   w.col_normalize();
   return w;
+}
+
+/// Many-source RWR over one resident engine: the W construction and
+/// upload happen once (build the engine from rwr_matrix(adjacency) and
+/// pass it here), and all queries advance lock-step through the engine's
+/// *batched* SpMM path, so the matrix is streamed once per iteration for
+/// the whole source set instead of once per source. Device cost follows
+/// the same protocol as rwr(): the batched sweep is simulated once (the
+/// kernel time does not depend on x values) and each iteration charges
+/// that memoized time, split evenly over the k queries (the sweep stays
+/// width-k), plus the per-query auxiliary vector kernels. Numerics per column are
+/// bit-identical to the scalar rwr() — apply_batch is the same column
+/// loop the exactness tests pin.
+template <class T>
+std::vector<AppResult<T>> rwr_many(spmv::SpmvEngine<T>& engine,
+                                   const std::vector<mat::index_t>& sources,
+                                   const RwrConfig& cfg = {}) {
+  const auto n = static_cast<std::size_t>(engine.rows());
+  ACSR_CHECK_MSG(engine.rows() == engine.cols(), "RWR needs square W");
+  const int k = static_cast<int>(sources.size());
+  std::vector<AppResult<T>> res(sources.size());
+  if (k == 0) return res;
+
+  mat::DenseBlock<T> r(engine.rows(), k);
+  for (int c = 0; c < k; ++c) {
+    const mat::index_t s = sources[static_cast<std::size_t>(c)];
+    ACSR_CHECK(s >= 0 && static_cast<std::size_t>(s) < n);
+    r.at(s, c) = T{1};
+  }
+  const T restart = static_cast<T>(1.0 - cfg.c);
+  const double aux_s =
+      aux_kernels_seconds(engine.device(), 5 * n * sizeof(T), 3);
+
+  mat::DenseBlock<T> y;
+  std::vector<char> done(sources.size(), 0);
+  double spmm_s = -1.0;  // one batched sweep, memoized like spmv_seconds()
+  for (int it = 0; it < cfg.iter.max_iters; ++it) {
+    if (spmm_s < 0.0) {
+      spmm_s = engine.simulate_batch(r, y);
+    } else {
+      engine.apply_batch(r, y);
+    }
+    const double col_spmv_s = spmm_s / k;
+    bool all_done = true;
+    for (int c = 0; c < k; ++c) {
+      if (done[static_cast<std::size_t>(c)]) continue;
+      AppResult<T>& rc = res[static_cast<std::size_t>(c)];
+      const mat::index_t s = sources[static_cast<std::size_t>(c)];
+      double dist_sq = 0.0;
+      for (mat::index_t i = 0; i < engine.rows(); ++i) {
+        T v = static_cast<T>(cfg.c) * y.at(i, c);
+        if (i == s) v += restart;
+        const double d = static_cast<double>(v - r.at(i, c));
+        dist_sq += d * d;
+        r.at(i, c) = v;
+      }
+      rc.iterations = it + 1;
+      rc.total_s += col_spmv_s + aux_s;
+      rc.spmv_s += col_spmv_s;
+      if (std::sqrt(dist_sq) < cfg.iter.epsilon) {
+        done[static_cast<std::size_t>(c)] = 1;
+        rc.converged = true;
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+  }
+  for (int c = 0; c < k; ++c)
+    res[static_cast<std::size_t>(c)].scores = r.column(c);
+  return res;
 }
 
 template <class T>

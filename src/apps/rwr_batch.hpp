@@ -1,0 +1,94 @@
+// Batched RWR driver: the serving-side composition of this PR's two new
+// pieces — rwr_many() (lock-step personalization over the engine's
+// batched SpMM path) and serve::BatchScheduler (multi-tenant one-shot
+// query serving with per-tenant billing).
+//
+// The headline number is the amortization ratio: one width-k sweep's
+// simulated seconds against k scalar sweeps of the same engine. On
+// WIK-class graphs the ACSR SpMM kernels pay the A-traffic once per
+// batch, so the ratio grows toward the memory-boundedness of the scalar
+// kernel (docs/PERF.md has the measured curve).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/rwr.hpp"
+#include "mat/dense_block.hpp"
+#include "serve/scheduler.hpp"
+
+namespace acsr::apps {
+
+struct RwrBatchConfig {
+  /// Per-query RWR parameters (the source field is ignored — sources come
+  /// from the batch).
+  RwrConfig rwr;
+};
+
+template <class T>
+struct RwrBatchResult {
+  std::vector<AppResult<T>> queries;  ///< one per source, rwr() semantics
+  double spmm_per_iter_s = 0.0;       ///< one width-k batched sweep
+  double seq_per_iter_s = 0.0;        ///< k scalar sweeps (the baseline)
+  /// Simulated-time amortization of one iteration: k SpMVs vs one SpMM.
+  double speedup() const {
+    return spmm_per_iter_s <= 0.0 ? 0.0 : seq_per_iter_s / spmm_per_iter_s;
+  }
+};
+
+/// Run |sources| personalization queries against a resident engine (W
+/// built and uploaded once by the caller — rwr_matrix + make_engine), all
+/// advancing through one batched sweep per iteration.
+template <class T>
+RwrBatchResult<T> rwr_batch(spmv::SpmvEngine<T>& engine,
+                            const std::vector<mat::index_t>& sources,
+                            const RwrBatchConfig& cfg = {}) {
+  RwrBatchResult<T> res;
+  res.queries = rwr_many(engine, sources, cfg.rwr);
+  const int k = static_cast<int>(sources.size());
+  if (k == 0) return res;
+
+  // The amortization headline: re-simulate one batch (memoized under the
+  // memo plane) against k scalar sweeps.
+  mat::DenseBlock<T> x(engine.cols(), k);
+  for (int c = 0; c < k; ++c)
+    x.at(sources[static_cast<std::size_t>(c)], c) = T{1};
+  mat::DenseBlock<T> y;
+  res.spmm_per_iter_s = engine.simulate_batch(x, y);
+  res.seq_per_iter_s = k * engine.spmv_seconds();
+  return res;
+}
+
+/// Deterministic three-tenant serving scenario, shared by the rwr_batch
+/// example and `acsr_prof --tenants`: "alpha" submits latency-sensitive
+/// high-priority queries, "beta" mid-priority, "gamma" a bulk low-priority
+/// backfill twice the size. Sources stride over the vertex set so the
+/// gathers are spread like real personalization traffic. The scheduler is
+/// drained afterwards; inspect sched.tenants() for the bill.
+template <class T>
+void run_tenant_scenario(serve::BatchScheduler<T>& sched, mat::index_t n,
+                         int requests_per_tenant = 16) {
+  struct Tenant {
+    const char* name;
+    int priority;
+    int requests;
+  };
+  const Tenant tenants[] = {
+      {"alpha", 2, requests_per_tenant},
+      {"beta", 1, requests_per_tenant},
+      {"gamma", 0, 2 * requests_per_tenant},
+  };
+  int stride = 0;
+  for (const Tenant& t : tenants) {
+    for (int i = 0; i < t.requests; ++i) {
+      std::vector<T> x(static_cast<std::size_t>(n), T{0});
+      x[static_cast<std::size_t>((7 * i + 3 * stride) %
+                                 static_cast<int>(n))] = T{1};
+      sched.submit(std::move(x), t.name, t.priority);
+    }
+    ++stride;
+  }
+  sched.drain();
+}
+
+}  // namespace acsr::apps

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/shape.hpp"
 #include "core/binning.hpp"
@@ -147,6 +149,124 @@ class AcsrLauncher {
     return conc ? group.seconds() : vgpu::combine_sequential(runs);
   }
 
+  /// One column-blocked SpMM over the same extent arrays: per-bin row
+  /// group x vector-block tile grids (the Algorithm 2 structure widened to
+  /// a column tile per warp, the tile's x-slices staged through a per-warp
+  /// shared-memory slab), plus the batched dynamic-parallelism tail. The
+  /// matrix arrays are swept once per launch — the sector model charges
+  /// the A-traffic once per SpMM instead of once per vector, which is the
+  /// whole point of batching (docs/SERVING.md). Caller guarantees k >= 1.
+  double run_batch(vgpu::DeviceSpan<const mat::offset_t> row_start,
+                   vgpu::DeviceSpan<const mat::offset_t> row_end,
+                   vgpu::DeviceSpan<const mat::index_t> col_idx,
+                   vgpu::DeviceSpan<const T> vals,
+                   vgpu::DeviceSpan<const T> xp, vgpu::DeviceSpan<T> yb,
+                   long long ldy, long long n_rows, int k,
+                   vgpu::KernelRun* agg = nullptr) {
+    ACSR_CHECK(k >= 1);
+    std::vector<vgpu::KernelRun> runs;
+    vgpu::ConcurrentGroup group(dev_);
+    const bool conc = opt_.concurrent_streams;
+    const long long n_tiles = (k + spmv::kSpmmTile - 1) / spmv::kSpmmTile;
+
+    // --- Bin-specific SpMM grids (Algorithm 2 x column tiles). ------------
+    for (std::size_t i = 1; i < binning_.bins.size(); ++i) {
+      const auto& rows_in_bin = binning_.bins[i];
+      if (rows_in_bin.empty()) continue;
+      const int v = Binning::vector_size_for_bin(i);
+      const int rows_per_warp = vgpu::kWarpSize / v;
+      const long long n_slots = static_cast<long long>(rows_in_bin.size());
+      const long long warps_for_slots =
+          (n_slots + rows_per_warp - 1) / rows_per_warp;
+      const int warps_per_block = 4;
+      vgpu::LaunchConfig cfg;
+      cfg.name = "acsr_spmm_bin" + std::to_string(i);
+      cfg.block_dim = warps_per_block * vgpu::kWarpSize;
+      cfg.grid_dim = std::max<long long>(
+          1, (warps_for_slots * n_tiles + warps_per_block - 1) /
+                 warps_per_block);
+      if (prof::profiler_enabled()) [[unlikely]]
+        prof::Profiler::instance().annotate_next_launch(
+            "bin=" + std::to_string(i) +
+            " rows=" + std::to_string(rows_in_bin.size()) +
+            " vector_size=" + std::to_string(v) +
+            " k=" + std::to_string(k));
+      auto row_map = bin_rows_dev_[i].cspan();
+      const bool use_tex = opt_.use_texture;
+      auto body = [&](vgpu::Block& blk) {
+        // Per-warp x-slice slab: each warp stages the gathered x values
+        // of its current tile column here before the FMA fan-out, so the
+        // tile's slices live in shared memory instead of k re-gathers'
+        // worth of registers. Slices are warp-private — no sync needed.
+        auto xslab = blk.shared<T>(
+            static_cast<std::size_t>(blk.warps_per_block()) *
+            vgpu::kWarpSize);
+        blk.each_warp([&](vgpu::Warp& w) {
+          bin_spmm_warp(w, v, row_start, row_end, col_idx, vals, xp, yb,
+                        ldy, n_rows, row_map, n_slots, warps_for_slots, k,
+                        xslab, use_tex);
+        });
+      };
+      runs.push_back(conc ? group.launch(cfg, vgpu::KernelRef(body))
+                          : dev_.launch(cfg, vgpu::KernelRef(body)));
+    }
+
+    // --- Batched dynamic-parallelism parent (Algorithm 3 x columns). ------
+    if (!binning_.dp_rows.empty()) {
+      const long long n_dp = static_cast<long long>(binning_.dp_rows.size());
+      vgpu::LaunchConfig cfg;
+      cfg.name = "acsr_spmm_dp_parent";
+      cfg.block_dim = 32;
+      cfg.grid_dim = (n_dp + 31) / 32;
+      if (prof::profiler_enabled()) [[unlikely]]
+        prof::Profiler::instance().annotate_next_launch(
+            "dp_rows=" + std::to_string(n_dp) + " k=" + std::to_string(k));
+      auto dp_rows = dp_rows_dev_.cspan();
+      const int thread_load = opt_.thread_load;
+      const bool use_tex = opt_.use_texture;
+      auto do_launch = [&](const vgpu::LaunchConfig& c, auto&& b) {
+        runs.push_back(conc ? group.launch_warps(c, b)
+                            : dev_.launch_warps(c, b));
+      };
+      do_launch(cfg, [&](vgpu::Warp& w) {
+        using vgpu::LaneArray;
+        using vgpu::Mask;
+        LaneArray<long long> tid = w.global_threads();
+        const Mask live = tid.where(
+            [n_dp](long long t) { return t < n_dp; }, w.active_mask());
+        if (live == 0) return;
+        const LaneArray<mat::index_t> row = w.load(dp_rows, tid, live);
+        const LaneArray<mat::offset_t> start = w.load(row_start, row, live);
+        const LaneArray<mat::offset_t> end = w.load(row_end, row, live);
+        // Children accumulate into every column; clear each column's slot.
+        for (int c = 0; c < k; ++c) {
+          auto ycol = yb.subspan(
+              static_cast<std::size_t>(c) * static_cast<std::size_t>(ldy),
+              static_cast<std::size_t>(n_rows));
+          w.store(ycol, row, LaneArray<T>::filled(T{0}), live);
+        }
+        w.count_alu(4);
+        for (int l = 0; l < vgpu::kWarpSize; ++l) {
+          if (!vgpu::lane_active(live, l)) continue;
+          launch_row_child_batch(w, row[l], start[l], end[l], col_idx,
+                                 vals, xp, yb, ldy, n_rows, k, thread_load,
+                                 use_tex);
+        }
+      });
+    }
+
+    if (agg != nullptr) {
+      *agg = runs.empty() ? vgpu::KernelRun{} : runs.front();
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        agg->counters += runs[i].counters;
+        agg->duration_s += runs[i].duration_s;
+      }
+      agg->name = "acsr_spmm";
+    }
+    if (runs.empty()) return 0.0;
+    return conc ? group.seconds() : vgpu::combine_sequential(runs);
+  }
+
  private:
   /// Algorithm 3 body for one parent lane: size and launch the
   /// row-specific child grid (Algorithm 4).
@@ -219,6 +339,246 @@ class AcsrLauncher {
         vv[0] = total;
         cw.atomic_add(ys, rr, vv, vgpu::lane_bit(0));
       });
+    });
+  }
+
+  /// Bin SpMM warp body: the csr_vector structure widened to a column
+  /// tile. Per matrix entry the col/val pair is loaded once; per tile
+  /// column the gathered x slice is staged through the warp's private
+  /// 32-slot window of the block's shared slab (one smem store + one smem
+  /// load per element) and accumulated from there — register pressure
+  /// stays one accumulator per tile column no matter the batch width. The
+  /// store discipline is the bin kernels' usual one: group heads only,
+  /// rows owned exclusively via the injective bin row map.
+  static void bin_spmm_warp(vgpu::Warp& w, int vec_size,
+                            vgpu::DeviceSpan<const mat::offset_t> row_start,
+                            vgpu::DeviceSpan<const mat::offset_t> row_end,
+                            vgpu::DeviceSpan<const mat::index_t> col_idx,
+                            vgpu::DeviceSpan<const T> vals,
+                            vgpu::DeviceSpan<const T> xp, vgpu::DeviceSpan<T> yb,
+                            long long ldy, long long n_rows,
+                            vgpu::DeviceSpan<const mat::index_t> row_map,
+                            long long map_size, long long warps_for_slots,
+                            int k, vgpu::DeviceSpan<T> xslab, bool use_tex) {
+    using vgpu::LaneArray;
+    using vgpu::Mask;
+    const int rows_per_warp = vgpu::kWarpSize / vec_size;
+    const long long gw = w.global_warp();
+    const long long tile = gw / warps_for_slots;
+    const long long warp_first_slot =
+        (gw - tile * warps_for_slots) * rows_per_warp;
+    const int c_begin = static_cast<int>(tile) * spmv::kSpmmTile;
+    const int c_end = std::min(k, c_begin + spmv::kSpmmTile);
+    if (c_begin >= c_end) return;
+    const int kt = c_end - c_begin;
+    const std::size_t slab_base =
+        static_cast<std::size_t>(w.warp_in_block()) * vgpu::kWarpSize;
+
+    LaneArray<long long> slot;
+    LaneArray<int> sub;
+    for (int l = 0; l < vgpu::kWarpSize; ++l) {
+      slot[l] = warp_first_slot + l / vec_size;
+      sub[l] = l % vec_size;
+    }
+    Mask live = 0;
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(w.active_mask(), l) && slot[l] < map_size)
+        live |= vgpu::lane_bit(l);
+    if (live == 0) return;
+
+    const LaneArray<mat::index_t> mapped = w.load(row_map, slot, live);
+    LaneArray<long long> row;
+    for (int l = 0; l < vgpu::kWarpSize; ++l) row[l] = mapped[l];
+    const LaneArray<mat::offset_t> start = w.load(row_start, row, live);
+    const LaneArray<mat::offset_t> end = w.load(row_end, row, live);
+    w.count_alu(5);
+
+    std::vector<vgpu::DeviceSpan<T>> ycol(static_cast<std::size_t>(kt));
+    for (int c = 0; c < kt; ++c) {
+      const auto gc = static_cast<std::size_t>(c_begin + c);
+      ycol[static_cast<std::size_t>(c)] =
+          yb.subspan(gc * static_cast<std::size_t>(ldy),
+                     static_cast<std::size_t>(n_rows));
+    }
+
+    LaneArray<mat::offset_t> i;
+    for (int l = 0; l < vgpu::kWarpSize; ++l) i[l] = start[l] + sub[l];
+    std::vector<LaneArray<T>> sums(static_cast<std::size_t>(kt));
+    Mask m = 0;
+    for (Mask rem = live; rem != 0; rem &= rem - 1) {
+      const int l = std::countr_zero(rem);
+      if (i[l] < end[l]) m |= vgpu::lane_bit(l);
+    }
+    while (m != 0) {
+      LaneArray<mat::index_t> col{};
+      LaneArray<T> val{};
+      w.load_pair(col_idx, vals, i, m, col, val);  // A paid once per tile
+      // Packed vector gather: lane l fetches its tile slice xp[col*k +
+      // c_begin .. +kt-1] in one short-vector fetch, charged per
+      // contiguous sector instead of per element.
+      LaneArray<long long> pidx{};
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int l = std::countr_zero(rem);
+        pidx[l] = static_cast<long long>(col[l]) * k + c_begin;
+      }
+      w.count_alu(1);
+      LaneArray<T> xv[spmv::kSpmmTile];
+      if (use_tex) {
+        w.load_tex_vec(xp, pidx, kt, m, xv);
+      } else {
+        for (int c = 0; c < kt; ++c) {
+          LaneArray<long long> pc = pidx;
+          for (Mask rem = m; rem != 0; rem &= rem - 1)
+            pc[std::countr_zero(rem)] += c;
+          xv[c] = w.load_gather_uncached(xp, pc, m);
+        }
+      }
+      for (int c = 0; c < kt; ++c) {
+        // Stage this column's x slice through the warp's slab window.
+        for (Mask rem = m; rem != 0; rem &= rem - 1) {
+          const int l = std::countr_zero(rem);
+          xslab[slab_base + static_cast<std::size_t>(l)] = xv[c][l];
+        }
+        for (Mask rem = m; rem != 0; rem &= rem - 1) {
+          const int l = std::countr_zero(rem);
+          xv[c][l] = xslab[slab_base + static_cast<std::size_t>(l)];
+        }
+        w.count_smem(2 * std::popcount(m));
+        vgpu::fma_into(sums[static_cast<std::size_t>(c)], val, xv[c], m);
+        w.count_flops(m, 2, sizeof(T) == 8);
+      }
+      w.count_alu(2);
+      Mask next = 0;
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int l = std::countr_zero(rem);
+        i[l] += vec_size;
+        if (i[l] < end[l]) next |= vgpu::lane_bit(l);
+      }
+      m = next;
+    }
+
+    Mask heads = 0;
+    for (int l = 0; l < vgpu::kWarpSize; ++l)
+      if (vgpu::lane_active(live, l) && sub[l] == 0)
+        heads |= vgpu::lane_bit(l);
+    for (int c = 0; c < kt; ++c) {
+      const LaneArray<T> red =
+          w.reduce_add(sums[static_cast<std::size_t>(c)], live, vec_size);
+      w.store(ycol[static_cast<std::size_t>(c)], row, red, heads);
+    }
+  }
+
+  /// Algorithm 3/4 widened to the vector block: one child grid per heavy
+  /// row serves *all* k columns, looping the column tiles inside the
+  /// child (per-tile two-phase shared reduction, barrier-separated) so
+  /// the per-SpMV device-launch count stays the scalar one regardless of
+  /// batch width.
+  static void launch_row_child_batch(
+      vgpu::Warp& w, mat::index_t row, mat::offset_t start,
+      mat::offset_t end, vgpu::DeviceSpan<const mat::index_t> col_idx,
+      vgpu::DeviceSpan<const T> vals, vgpu::DeviceSpan<const T> xp,
+      vgpu::DeviceSpan<T> yb, long long ldy, long long n_rows, int k,
+      int thread_load, bool use_tex) {
+    const long long nnz = end - start;
+    if (nnz <= 0) return;
+    const long long want_threads = (nnz + thread_load - 1) / thread_load;
+    const int block_dim = static_cast<int>(
+        std::min<long long>(256, ((want_threads + 31) / 32) * 32));
+    vgpu::LaunchConfig child;
+    child.name = "acsr_spmm_row" + std::to_string(row);
+    child.block_dim = block_dim;
+    child.grid_dim =
+        std::max<long long>(1, (want_threads + block_dim - 1) / block_dim);
+    const long long total_threads = child.grid_dim * child.block_dim;
+    const int n_tiles = (k + spmv::kSpmmTile - 1) / spmv::kSpmmTile;
+
+    w.launch_child(child, [row, start, end, col_idx, vals, xp, yb, ldy,
+                           n_rows, k, n_tiles, total_threads,
+                           use_tex](vgpu::Block& blk) {
+      auto partials = blk.shared<T>(
+          static_cast<std::size_t>(blk.warps_per_block()) *
+          spmv::kSpmmTile);
+      for (int t = 0; t < n_tiles; ++t) {
+        const int c_begin = t * spmv::kSpmmTile;
+        const int kt = std::min(k, c_begin + spmv::kSpmmTile) - c_begin;
+        // WAR barrier: the previous tile's fold must finish reading the
+        // partials before this tile overwrites them.
+        if (t > 0) blk.sync();
+        blk.each_warp([&](vgpu::Warp& cw) {
+          using vgpu::LaneArray;
+          using vgpu::Mask;
+          const LaneArray<long long> tid = cw.global_threads();
+          LaneArray<mat::offset_t> i;
+          for (int l = 0; l < vgpu::kWarpSize; ++l) i[l] = start + tid[l];
+          std::vector<LaneArray<T>> sums(static_cast<std::size_t>(kt));
+          for (;;) {
+            Mask m = 0;
+            for (int l = 0; l < vgpu::kWarpSize; ++l)
+              if (vgpu::lane_active(cw.active_mask(), l) && i[l] < end)
+                m |= vgpu::lane_bit(l);
+            if (m == 0) break;
+            const LaneArray<mat::index_t> col = cw.load(col_idx, i, m);
+            const LaneArray<T> val = cw.load(vals, i, m);
+            // Packed vector gather of the tile slice, one fetch per lane.
+            LaneArray<long long> pidx{};
+            for (Mask rem = m; rem != 0; rem &= rem - 1) {
+              const int l = std::countr_zero(rem);
+              pidx[l] = static_cast<long long>(col[l]) * k + c_begin;
+            }
+            cw.count_alu(1);
+            LaneArray<T> xv[spmv::kSpmmTile];
+            if (use_tex) {
+              cw.load_tex_vec(xp, pidx, kt, m, xv);
+            } else {
+              for (int c = 0; c < kt; ++c) {
+                LaneArray<long long> pc = pidx;
+                for (Mask rem = m; rem != 0; rem &= rem - 1)
+                  pc[std::countr_zero(rem)] += c;
+                xv[c] = cw.load_gather_uncached(xp, pc, m);
+              }
+            }
+            for (int c = 0; c < kt; ++c) {
+              vgpu::fma_into(sums[static_cast<std::size_t>(c)], val, xv[c], m);
+              cw.count_flops(m, 2, sizeof(T) == 8);
+            }
+            cw.count_alu(2);
+            for (int l = 0; l < vgpu::kWarpSize; ++l)
+              if (vgpu::lane_active(m, l)) i[l] += total_threads;
+          }
+          for (int c = 0; c < kt; ++c) {
+            const LaneArray<T> red = cw.reduce_add(
+                sums[static_cast<std::size_t>(c)], cw.active_mask(),
+                vgpu::kWarpSize);
+            partials[static_cast<std::size_t>(c) *
+                         static_cast<std::size_t>(blk.warps_per_block()) +
+                     static_cast<std::size_t>(cw.warp_in_block())] = red[0];
+          }
+          cw.count_smem(kt);
+        });
+        blk.sync();
+        blk.each_warp([&](vgpu::Warp& cw) {
+          if (cw.warp_in_block() != 0) return;
+          using vgpu::LaneArray;
+          const auto warps = static_cast<std::size_t>(blk.warps_per_block());
+          for (int c = 0; c < kt; ++c) {
+            T total{0};
+            for (std::size_t p = 0; p < warps; ++p)
+              total += partials[static_cast<std::size_t>(c) * warps + p];
+            cw.count_smem(static_cast<int>(warps));
+            cw.count_flops(vgpu::lane_bit(0), static_cast<int>(warps),
+                           sizeof(T) == 8);
+            auto ycol = yb.subspan(
+                static_cast<std::size_t>(c_begin + c) *
+                    static_cast<std::size_t>(ldy),
+                static_cast<std::size_t>(n_rows));
+            LaneArray<mat::index_t> rr{};
+            LaneArray<T> vv{};
+            rr[0] = row;
+            vv[0] = total;
+            cw.atomic_add(ycol, rr, vv, vgpu::lane_bit(0));
+          }
+        });
+      }
     });
   }
 
@@ -313,6 +673,34 @@ class AcsrEngine final : public spmv::EngineBase<T> {
     return t;
   }
 
+  /// Column-blocked batched SpMM (tentpole path). Width 0 is a no-op
+  /// (no launch), width 1 routes through the scalar simulate() so the
+  /// launch sequence — and the memo key material — is exactly the SpMV
+  /// one; wider blocks run the real per-bin SpMM grids.
+  double simulate_batch(const mat::DenseBlock<T>& x_block,
+                        mat::DenseBlock<T>& y_block) override {
+    ACSR_CHECK(x_block.rows == host_.cols);
+    if (x_block.width == 0) {
+      y_block.resize(host_.rows, 0);
+      return 0.0;
+    }
+    if (x_block.width == 1) return this->simulate_batch_loop(x_block, y_block);
+    const int k = x_block.width;
+    const auto ldy = mat::DenseBlock<T>::padded_ld(host_.rows);
+    auto xp = this->stage_x_pack(x_block);
+    auto yb = this->stage_y_block(
+        static_cast<std::size_t>(ldy) * static_cast<std::size_t>(k), k);
+    const auto nrows = static_cast<std::size_t>(host_.rows);
+    const double t = launcher_->run_batch(
+        dev_csr_.row_off.cspan().subspan(0, nrows),
+        dev_csr_.row_off.cspan().subspan(1, nrows), dev_csr_.col_idx.cspan(),
+        dev_csr_.vals.cspan(), xp, yb, ldy, host_.rows, k,
+        &this->report_.last_run);
+    y_block.resize(host_.rows, k);
+    y_block.data = this->staged_y_block(k);  // valid: ldy == y_block.ld
+    return t;
+  }
+
  private:
   mat::Csr<T> host_;
   spmv::CsrDevice<T> dev_csr_;
@@ -344,8 +732,20 @@ inline analysis::ShapeClass acsr_shape_class() {
                 "tail rows (capped by BinningOptions::row_max)"),
       an::param("grid", 1, "launch grid dim"),
       an::param("child_grid", 1, "row-child grid dim"),
+      // SpMM batch: k >= 1 encodes the verified 0-column no-op (a 0-width
+      // block never reaches a launch); ldy_pad carries the row padding of
+      // the column-major output block (the input slab is packed, unpadded).
+      an::param("k", 1, "batch width (vector-block columns)"),
+      an::param("ldy_pad", 0, "y-block leading-dimension padding rows"),
   };
+  const an::Sym k = an::Sym::param("k");
+  const an::Sym ldy_pad = an::Sym::param("ldy_pad");
   sc.spans = {
+      an::data_span("xpack", n_cols * k,
+                    "packed row-major x slab (xpack[col*k + c])"),
+      an::data_span("yb", (n_rows + ldy_pad) * k,
+                    "column-major output vector block",
+                    /*initialized=*/false),
       an::index_span("row_start", n_rows, {an::Sym(0), nnz},
                      "per-row begin offsets", true),
       an::index_span("row_end", n_rows, {an::Sym(0), nnz},

@@ -45,6 +45,26 @@ class MemoEngine final : public spmv::SpmvEngine<T> {
                      [&] { return inner_->simulate(x, y); });
   }
 
+  void apply_batch(const mat::DenseBlock<T>& x_block,
+                   mat::DenseBlock<T>& y_block) const override {
+    inner_->apply_batch(x_block, y_block);
+  }
+
+  /// Batched launches are memoized per batch width: a static engine's
+  /// SpMM launch sequence is fixed for a given k, and the engines keep
+  /// per-width scratch so replay addresses stay stationary. Width 0 never
+  /// launches (nothing to capture); width 1 routes to the scalar engines'
+  /// SpMV path, so it shares the "spmv" key with simulate() — the memo
+  /// cache is warm either way round.
+  double simulate_batch(const mat::DenseBlock<T>& x_block,
+                        mat::DenseBlock<T>& y_block) override {
+    if (x_block.width == 0) return inner_->simulate_batch(x_block, y_block);
+    const std::string subkey =
+        x_block.width == 1 ? "spmv" : "spmm/k" + std::to_string(x_block.width);
+    return memo_.run(inner_->device(), subkey,
+                     [&] { return inner_->simulate_batch(x_block, y_block); });
+  }
+
   const spmv::EngineReport& report() const override {
     return inner_->report();
   }

@@ -111,43 +111,22 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
   /// Returns the successful attempt's simulated seconds plus any backoff
   /// charged while recovering.
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
-    int retries_left = opt_.retry.max_retries;
-    int scrubs_left = opt_.max_scrubs;
-    double backoff = opt_.retry.backoff_s;
-    double penalty_s = 0.0;
-    for (;;) {
-      try {
-        return inner_->simulate(x, y) + penalty_s;
-      } catch (const vgpu::TransientFault& e) {
-        if (retries_left-- == 0) throw;
-        note("fault:transient " + where_of(e));
-        penalty_s += backoff;
-        timeline_.enqueue(stream_, backoff,
-                          "recovery:retry backoff " + where_of(e));
-        if (prof::profiler_enabled()) [[unlikely]]
-          prof::Profiler::instance().add_retry_backoff(backoff, where_of(e));
-        ++retries_;
-        backoff *= opt_.retry.backoff_growth;
-      } catch (const vgpu::DataCorruption& e) {
-        if (scrubs_left-- == 0) throw;
-        note("fault:corruption " + where_of(e));
-        scrub_and_note();
-      } catch (const acsr::InvariantError&) {
-        // A silently flipped index sends a kernel out of bounds. Only
-        // convert the abort into a scrub when the injector actually
-        // recorded a flip since the device copies were last refreshed —
-        // a genuine engine bug must stay loud.
-        if (!flips_since_scrub() || scrubs_left-- == 0) throw;
-        note("fault:corruption (bounds failure after undetected flip)");
-        scrub_and_note();
-      } catch (const vgpu::DeviceOom& e) {
-        note(std::string("fault:oom ") + e.what());
-        fall_back_or_rethrow();  // noreturn on exhausted chain
-      } catch (const vgpu::DeviceLost& e) {
-        note("fault:lost " + where_of(e));
-        fail_over_or_rethrow();
-      }
-    }
+    return recovered([&] { return inner_->simulate(x, y); });
+  }
+
+  void apply_batch(const mat::DenseBlock<T>& x_block,
+                   mat::DenseBlock<T>& y_block) const override {
+    inner_->apply_batch(x_block, y_block);
+  }
+
+  /// Batched SpMM through the same recovery ladder: a fault mid-batch
+  /// retries/rebuilds and re-runs the whole block (the block kernels
+  /// overwrite or clear-then-accumulate every output slot, so a re-run is
+  /// idempotent). After a fallback the degraded format serves the batch
+  /// via its own simulate_batch — at worst the column loop.
+  double simulate_batch(const mat::DenseBlock<T>& x_block,
+                        mat::DenseBlock<T>& y_block) override {
+    return recovered([&] { return inner_->simulate_batch(x_block, y_block); });
   }
 
   // --- recovery observability ----------------------------------------------
@@ -181,6 +160,50 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
   }
 
  private:
+  /// The recovery ladder around one device-path attempt (shared by the
+  /// scalar and batched entry points). Returns the successful attempt's
+  /// simulated seconds plus any backoff charged while recovering.
+  template <class Fn>
+  double recovered(Fn&& attempt) {
+    int retries_left = opt_.retry.max_retries;
+    int scrubs_left = opt_.max_scrubs;
+    double backoff = opt_.retry.backoff_s;
+    double penalty_s = 0.0;
+    for (;;) {
+      try {
+        return attempt() + penalty_s;
+      } catch (const vgpu::TransientFault& e) {
+        if (retries_left-- == 0) throw;
+        note("fault:transient " + where_of(e));
+        penalty_s += backoff;
+        timeline_.enqueue(stream_, backoff,
+                          "recovery:retry backoff " + where_of(e));
+        if (prof::profiler_enabled()) [[unlikely]]
+          prof::Profiler::instance().add_retry_backoff(backoff, where_of(e));
+        ++retries_;
+        backoff *= opt_.retry.backoff_growth;
+      } catch (const vgpu::DataCorruption& e) {
+        if (scrubs_left-- == 0) throw;
+        note("fault:corruption " + where_of(e));
+        scrub_and_note();
+      } catch (const acsr::InvariantError&) {
+        // A silently flipped index sends a kernel out of bounds. Only
+        // convert the abort into a scrub when the injector actually
+        // recorded a flip since the device copies were last refreshed —
+        // a genuine engine bug must stay loud.
+        if (!flips_since_scrub() || scrubs_left-- == 0) throw;
+        note("fault:corruption (bounds failure after undetected flip)");
+        scrub_and_note();
+      } catch (const vgpu::DeviceOom& e) {
+        note(std::string("fault:oom ") + e.what());
+        fall_back_or_rethrow();  // noreturn on exhausted chain
+      } catch (const vgpu::DeviceLost& e) {
+        note("fault:lost " + where_of(e));
+        fail_over_or_rethrow();
+      }
+    }
+  }
+
   static std::string where_of(const vgpu::DeviceFault& e) {
     return "'" + e.where() + "' on device '" + e.device() + "'";
   }

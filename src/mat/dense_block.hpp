@@ -1,0 +1,81 @@
+// Column-major dense vector block: the right-hand side of batched SpMM
+// (Y = A X with X holding k query vectors side by side).
+//
+// Storage is column-major with a row-padded leading dimension: each
+// column starts on a 32-element boundary, so on the device every column
+// begins sector-aligned and a warp's unit-stride sweep of one column is
+// perfectly coalesced — the layout Yang/Buluç/Owens pick for the dense
+// operand of column-blocked SpMM. The padding rows are kept zero so a
+// whole block can be shipped to the device as one contiguous upload.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mat/csr.hpp"
+
+namespace acsr::mat {
+
+template <class T>
+struct DenseBlock {
+  index_t rows = 0;   ///< logical rows per column (vector length)
+  int width = 0;      ///< number of columns (batch width k)
+  index_t ld = 0;     ///< leading dimension: rows padded to a multiple of 32
+  /// Column-major payload, ld * width elements; element (r, c) lives at
+  /// data[c*ld + r]. Padding rows [rows, ld) stay zero.
+  std::vector<T> data;
+
+  DenseBlock() = default;
+  DenseBlock(index_t n_rows, int n_cols) { resize(n_rows, n_cols); }
+
+  /// Sector-aligned leading dimension (32 elements covers both the 32 B
+  /// sector at float and the warp width at double).
+  static index_t padded_ld(index_t n_rows) {
+    return ((n_rows + 31) / 32) * 32;
+  }
+
+  /// Zero-filled resize; previous contents are discarded.
+  void resize(index_t n_rows, int n_cols) {
+    ACSR_CHECK(n_rows >= 0 && n_cols >= 0);
+    rows = n_rows;
+    width = n_cols;
+    ld = padded_ld(n_rows);
+    data.assign(static_cast<std::size_t>(ld) *
+                    static_cast<std::size_t>(width),
+                T{0});
+  }
+
+  T& at(index_t r, int c) {
+    return data[static_cast<std::size_t>(c) * static_cast<std::size_t>(ld) +
+                static_cast<std::size_t>(r)];
+  }
+  const T& at(index_t r, int c) const {
+    return data[static_cast<std::size_t>(c) * static_cast<std::size_t>(ld) +
+                static_cast<std::size_t>(r)];
+  }
+
+  void set_column(int c, const std::vector<T>& v) {
+    ACSR_CHECK(c >= 0 && c < width);
+    ACSR_CHECK(static_cast<index_t>(v.size()) == rows);
+    for (index_t r = 0; r < rows; ++r) at(r, c) = v[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<T> column(int c) const {
+    ACSR_CHECK(c >= 0 && c < width);
+    std::vector<T> v(static_cast<std::size_t>(rows));
+    for (index_t r = 0; r < rows; ++r) v[static_cast<std::size_t>(r)] = at(r, c);
+    return v;
+  }
+
+  static DenseBlock from_columns(index_t n_rows,
+                                 const std::vector<std::vector<T>>& cols) {
+    DenseBlock b(n_rows, static_cast<int>(cols.size()));
+    for (int c = 0; c < b.width; ++c) b.set_column(c, cols[static_cast<std::size_t>(c)]);
+    return b;
+  }
+
+  std::size_t bytes() const { return data.size() * sizeof(T); }
+};
+
+}  // namespace acsr::mat

@@ -132,6 +132,42 @@ std::vector<CounterMetric> build_counter_metrics() {
   return r;
 }
 
+// One passthrough metric per TenantAgg field (scripts/lint.sh rule 4
+// parses the struct and greps this file, exactly as for Counters).
+#define ACSR_TENANT_METRIC(field, unit, what)                          \
+  TenantMetricDef {                                                    \
+    "tenant." #field, unit, "TenantAgg::" #field " (" what ")",        \
+        [](const TenantAgg& a) { return static_cast<double>(a.field); } \
+  }
+
+std::vector<TenantMetricDef> build_tenant_registry() {
+  return {
+      ACSR_TENANT_METRIC(requests, "count", "SpMVs served"),
+      ACSR_TENANT_METRIC(batches, "count",
+                         "batches carrying >= 1 of the tenant's requests"),
+      ACSR_TENANT_METRIC(batch_width_sum, "count",
+                         "carrying batch width, summed per request"),
+      ACSR_TENANT_METRIC(cost_s, "s", "billed share of simulated batch time"),
+      ACSR_TENANT_METRIC(queue_wait_s, "s",
+                         "simulated enqueue-to-launch wait, summed"),
+      {"tenant.batch_width_avg", "ratio", "batch_width_sum / requests",
+       [](const TenantAgg& a) {
+         return safe_div(static_cast<double>(a.batch_width_sum),
+                         static_cast<double>(a.requests));
+       }},
+      {"tenant.queue_wait_avg_s", "s", "queue_wait_s / requests",
+       [](const TenantAgg& a) {
+         return safe_div(a.queue_wait_s, static_cast<double>(a.requests));
+       }},
+      {"tenant.cost_per_request_s", "s", "cost_s / requests",
+       [](const TenantAgg& a) {
+         return safe_div(a.cost_s, static_cast<double>(a.requests));
+       }},
+  };
+}
+
+#undef ACSR_TENANT_METRIC
+
 }  // namespace
 
 const std::vector<MetricDef>& metric_registry() {
@@ -148,6 +184,17 @@ const MetricDef* find_metric(const std::string& name) {
 const std::vector<CounterMetric>& counter_metrics() {
   static const std::vector<CounterMetric> r = build_counter_metrics();
   return r;
+}
+
+const std::vector<TenantMetricDef>& tenant_metric_registry() {
+  static const std::vector<TenantMetricDef> r = build_tenant_registry();
+  return r;
+}
+
+const TenantMetricDef* find_tenant_metric(const std::string& name) {
+  for (const TenantMetricDef& m : tenant_metric_registry())
+    if (name == m.name) return &m;
+  return nullptr;
 }
 
 }  // namespace acsr::prof

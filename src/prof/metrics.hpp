@@ -119,4 +119,36 @@ struct CounterMetric {
 };
 const std::vector<CounterMetric>& counter_metrics();
 
+// --- multi-tenant serving aggregates ---------------------------------------
+
+/// Per-tenant billing record kept by serve::BatchScheduler: simulated cost
+/// attribution of the batched SpMM launches plus queueing behaviour. Same
+/// completeness contract as vgpu::Counters: scripts/lint.sh rule 4 parses
+/// the fields of this struct and requires a passthrough metric per field
+/// in metrics.cpp, so a new billing column cannot ship unobservable.
+struct TenantAgg {
+  std::uint64_t requests = 0;        ///< SpMVs served for this tenant
+  std::uint64_t batches = 0;         ///< batches carrying >= 1 of its requests
+  std::uint64_t batch_width_sum = 0; ///< width of the carrying batch, per request
+  double cost_s = 0.0;               ///< billed share of simulated batch time
+  double queue_wait_s = 0.0;         ///< simulated enqueue-to-launch wait, summed
+};
+
+/// A named, documented serving metric over one tenant's aggregate (the
+/// serve-plane mirror of MetricDef; acsr_prof --tenants prints one column
+/// per entry). All serve metrics are model quantities, hence deterministic.
+struct TenantMetricDef {
+  const char* name;
+  const char* unit;
+  const char* formula;
+  double (*compute)(const TenantAgg&);
+};
+
+/// Every registered tenant metric: field passthroughs plus the derived
+/// ratios (batch_width_avg, queue_wait_avg_s, cost_per_request_s).
+const std::vector<TenantMetricDef>& tenant_metric_registry();
+
+/// nullptr when unknown.
+const TenantMetricDef* find_tenant_metric(const std::string& name);
+
 }  // namespace acsr::prof

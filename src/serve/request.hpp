@@ -1,0 +1,105 @@
+// Multi-tenant SpMV request plane: typed requests, the bounded admission
+// queue, and the overload rejection.
+//
+// A request is one query vector against the resident matrix (one column
+// of a future batched SpMM), tagged with the tenant that pays for it, a
+// scheduling priority and an optional deadline. Admission control is a
+// hard queue bound with shed-on-overload semantics: a full queue rejects
+// the submit with a typed OverloadError instead of growing without bound
+// — the standard head-of-line protection of a serving system (the
+// FlashGraph-style dispatcher ACSR's graph workloads sit behind).
+//
+// All time here is the scheduler's *simulated* clock (seconds on the
+// virtual GPU timeline), never host wall-clock — the whole plane stays
+// bit-deterministic, like everything else in the repo.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acsr::serve {
+
+/// Admission-control rejection: the bounded queue is full and the request
+/// was shed. A client distinguishes this (back off and retry) from
+/// InvariantError (a bug) by type.
+class OverloadError : public acsr::InputError {
+ public:
+  using acsr::InputError::InputError;
+};
+
+/// One tenant query: y = A x for the scheduler's resident engine.
+template <class T>
+struct Request {
+  std::vector<T> x;          ///< query vector, engine->cols() elements
+  std::string tenant;        ///< billing identity
+  int priority = 0;          ///< higher schedules first
+  /// Absolute simulated time by which the tenant wants the result;
+  /// breaks priority ties (earliest first). Informational otherwise.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  std::uint64_t id = 0;            ///< assigned by the queue, unique
+  double enqueue_clock_s = 0.0;    ///< simulated admission time
+};
+
+/// Bounded FIFO with priority extraction. push() sheds on overload;
+/// pop_best() returns the highest-priority request, ties broken by
+/// earliest deadline, then admission order — the order the scheduler
+/// fills vector blocks in.
+template <class T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    ACSR_REQUIRE(capacity_ >= 1, "RequestQueue needs capacity >= 1");
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+
+  /// Admit one request, stamping id and admission time. Throws
+  /// OverloadError when the queue is at capacity (shed-on-overload).
+  std::uint64_t push(Request<T> r, double clock_s) {
+    if (q_.size() >= capacity_)
+      throw OverloadError("request queue full (" +
+                          std::to_string(capacity_) +
+                          " pending): request from tenant '" + r.tenant +
+                          "' shed");
+    r.id = next_id_++;
+    r.enqueue_clock_s = clock_s;
+    q_.push_back(std::move(r));
+    return q_.back().id;
+  }
+
+  /// Extract the best request: max priority, then min deadline, then min
+  /// id (admission order). Precondition: !empty().
+  Request<T> pop_best() {
+    ACSR_CHECK(!q_.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < q_.size(); ++i) {
+      const Request<T>& a = q_[i];
+      const Request<T>& b = q_[best];
+      if (a.priority != b.priority) {
+        if (a.priority > b.priority) best = i;
+      } else if (a.deadline_s != b.deadline_s) {
+        if (a.deadline_s < b.deadline_s) best = i;
+      } else if (a.id < b.id) {
+        best = i;
+      }
+    }
+    Request<T> r = std::move(q_[best]);
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(best));
+    return r;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 1;
+  std::deque<Request<T>> q_;
+};
+
+}  // namespace acsr::serve

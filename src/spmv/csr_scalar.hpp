@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
 #include "analysis/shape.hpp"
 #include "spmv/csr_device.hpp"
@@ -73,6 +74,98 @@ void csr_scalar_warp(vgpu::Warp& w,
   w.store_seq(y, rows[0], sum, live);
 }
 
+/// Column-blocked SpMM body (one warp = 32 consecutive rows, looping over
+/// the column tiles of the vector block). For each tile of kSpmmTile
+/// columns the warp re-walks its rows' entries, loading col/val once per
+/// step and fanning the FMA out over the tile columns. Because the same
+/// warp performs every re-walk, the matrix sectors stay hot in its sector
+/// cache after the first tile — the batch pays the A traffic once, not
+/// once per tile, which is the whole point of column blocking. The tile
+/// bound (kSpmmTile accumulators) keeps register pressure flat no matter
+/// how wide the batch is. Per column the accumulation order over j is
+/// identical to csr_scalar_warp, so each output column is bit-identical
+/// to the scalar kernel's result. xp is the packed row-major x slab
+/// (xp[col*k + c], see EngineBase::stage_x_pack) — a tile's k gathers for
+/// one matrix column share texture sectors instead of each pulling their
+/// own; yb is the column-major output block with leading dimension ldy.
+template <class T>
+void csr_scalar_spmm_warp(vgpu::Warp& w,
+                          vgpu::DeviceSpan<const mat::offset_t> row_start,
+                          vgpu::DeviceSpan<const mat::offset_t> row_end,
+                          vgpu::DeviceSpan<const mat::index_t> col_idx,
+                          vgpu::DeviceSpan<const T> vals,
+                          vgpu::DeviceSpan<const T> xp, vgpu::DeviceSpan<T> yb,
+                          long long ldy, mat::index_t n_rows, int k) {
+  const LaneArray<long long> rows = w.global_threads();
+  const long long row0 = rows[0];
+  const Mask live =
+      rows.where([n_rows](long long r) { return r < n_rows; },
+                 w.active_mask());
+  if (live == 0) return;
+
+  const LaneArray<mat::offset_t> start = w.load_seq(row_start, row0, live);
+  const LaneArray<mat::offset_t> end = w.load_seq(row_end, row0, live);
+  w.count_alu(2);
+
+  for (int c_begin = 0; c_begin < k; c_begin += kSpmmTile) {
+    const int kt = std::min(k, c_begin + kSpmmTile) - c_begin;
+    w.count_alu(1);  // tile bookkeeping
+
+    // Per-column views of the output block: column c is yb[c*ldy .. +n_rows).
+    std::vector<vgpu::DeviceSpan<T>> ycol(static_cast<std::size_t>(kt));
+    for (int c = 0; c < kt; ++c) {
+      const auto gc = static_cast<std::size_t>(c_begin + c);
+      ycol[static_cast<std::size_t>(c)] =
+          yb.subspan(gc * static_cast<std::size_t>(ldy),
+                     static_cast<std::size_t>(n_rows));
+    }
+
+    std::vector<vgpu::LaneArray<T>> sums(static_cast<std::size_t>(kt));
+    LaneArray<mat::offset_t> cur = start;
+    Mask m = 0;
+    for (Mask rem = live; rem != 0; rem &= rem - 1) {
+      const int l = std::countr_zero(rem);
+      if (cur[l] < end[l]) m |= vgpu::lane_bit(l);
+    }
+    while (m != 0) {
+      LaneArray<mat::index_t> col{};
+      LaneArray<T> val{};
+      // A sectors: DRAM on the first tile, warp sector cache afterwards.
+      w.load_pair(col_idx, vals, cur, m, col, val);
+      // Packed vector gather: lane l fetches xp[col*k + c_begin .. +kt-1]
+      // in one short-vector fetch, so the tile's kt values per matrix
+      // column are charged per contiguous sector, not per element.
+      LaneArray<long long> pidx{};
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int l = std::countr_zero(rem);
+        pidx[l] = static_cast<long long>(col[l]) * k + c_begin;
+      }
+      w.count_alu(1);  // packed-index math
+      LaneArray<T> xv[kSpmmTile];
+      w.load_tex_vec(xp, pidx, kt, m, xv);
+      for (int c = 0; c < kt; ++c) {
+        vgpu::fma_into(sums[static_cast<std::size_t>(c)], val, xv[c], m);
+        w.count_flops(m, 2, sizeof(T) == 8);
+      }
+      w.count_alu(2);  // loop compare + increment
+      Mask next = 0;
+      if (m == vgpu::kFullMask) {
+        for (int l = 0; l < vgpu::kWarpSize; ++l)
+          if (++cur[l] < end[l]) next |= vgpu::lane_bit(l);
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1) {
+          const int l = std::countr_zero(rem);
+          if (++cur[l] < end[l]) next |= vgpu::lane_bit(l);
+        }
+      }
+      m = next;
+    }
+    for (int c = 0; c < kt; ++c)
+      w.store_seq(ycol[static_cast<std::size_t>(c)], row0,
+                  sums[static_cast<std::size_t>(c)], live);
+  }
+}
+
 template <class T>
 class CsrScalarEngine final : public EngineBase<T> {
  public:
@@ -119,6 +212,46 @@ class CsrScalarEngine final : public EngineBase<T> {
     return run.duration_s;
   }
 
+  /// Real column-blocked SpMM: the scalar kernel's grid, each warp
+  /// looping over the column tiles with its matrix sectors kept hot in
+  /// its sector cache. Width 0 never launches; width 1 is the scalar SpMV
+  /// path (same launch sequence, so memo keys stay compatible).
+  double simulate_batch(const mat::DenseBlock<T>& x_block,
+                        mat::DenseBlock<T>& y_block) override {
+    ACSR_CHECK(x_block.rows == host_.cols);
+    if (x_block.width == 0) {
+      y_block.resize(host_.rows, 0);
+      return 0.0;
+    }
+    if (x_block.width == 1) return this->simulate_batch_loop(x_block, y_block);
+
+    const int k = x_block.width;
+    const long long ldy = mat::DenseBlock<T>::padded_ld(host_.rows);
+    auto xp = this->stage_x_pack(x_block);
+    auto yb = this->stage_y_block(
+        static_cast<std::size_t>(ldy) * static_cast<std::size_t>(k), k);
+
+    const int block = 128;
+    vgpu::LaunchConfig cfg;
+    cfg.name = "csr_scalar_spmm";
+    cfg.block_dim = block;
+    cfg.grid_dim = std::max<long long>(1, (host_.rows + block - 1) / block);
+    const auto nrows = static_cast<std::size_t>(host_.rows);
+    auto rs = dev_csr_.row_off.cspan().subspan(0, nrows);
+    auto re = dev_csr_.row_off.cspan().subspan(1, nrows);
+    auto ci = dev_csr_.col_idx.cspan();
+    auto va = dev_csr_.vals.cspan();
+    const mat::index_t n = host_.rows;
+    const vgpu::KernelRun run =
+        this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
+          csr_scalar_spmm_warp<T>(w, rs, re, ci, va, xp, yb, ldy, n, k);
+        });
+    this->report_.last_run = run;
+    y_block.resize(host_.rows, k);
+    y_block.data = this->staged_y_block(k);
+    return run.duration_s;
+  }
+
  private:
   mat::Csr<T> host_;
   CsrDevice<T> dev_csr_;
@@ -133,12 +266,20 @@ inline analysis::ShapeClass csr_scalar_shape_class() {
   const an::Sym n_rows = an::Sym::param("n_rows");
   const an::Sym n_cols = an::Sym::param("n_cols");
   const an::Sym nnz = an::Sym::param("nnz");
+  const an::Sym k = an::Sym::param("k");
+  const an::Sym ldy_pad = an::Sym::param("ldy_pad");
   an::ShapeClass sc;
   sc.engine = "csr-scalar";
   sc.params = {an::param("n_rows", 0, "matrix rows"),
                an::param("n_cols", 0, "matrix columns"),
                an::param("nnz", 0, "stored non-zeros"),
-               an::param("grid", 1, "launch grid dim")};
+               an::param("grid", 1, "launch grid dim"),
+               // Batched SpMM operands. k >= 1 is an engine guarantee:
+               // simulate_batch returns before any launch on a 0-column
+               // DenseBlock, so the kernels never see an empty block (the
+               // empty-batch no-op the verifier proves by this bound).
+               an::param("k", 1, "batch width (0-column blocks never launch)"),
+               an::param("ldy_pad", 0, "y-block row padding (ldy - n_rows)")};
   sc.spans = {
       an::index_span("row_start", n_rows, {an::Sym(0), nnz},
                      "per-row begin offsets (row_off[0..rows))", true),
@@ -149,6 +290,11 @@ inline analysis::ShapeClass csr_scalar_shape_class() {
       an::data_span("vals", nnz, "non-zero values"),
       an::data_span("x", n_cols, "input vector"),
       an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+      an::data_span("xpack", n_cols * k,
+                    "packed row-major x slab (xpack[col*k + c])"),
+      an::data_span("yb", (n_rows + ldy_pad) * k,
+                    "column-major y block, leading dim n_rows + ldy_pad",
+                    /*initialized=*/false),
   };
   return sc;
 }

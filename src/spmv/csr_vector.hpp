@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
 #include "analysis/shape.hpp"
 #include "spmv/csr_device.hpp"
@@ -142,6 +143,139 @@ void csr_vector_warp(vgpu::Warp& w, int vec_size,
   (void)rows_per_warp;
 }
 
+/// Column-blocked SpMM body on the csr_vector structure: one warp = 32/V
+/// row slots, looping over the column tiles of the vector block. Per
+/// matrix entry the col/val pair comes from DRAM on the first tile and
+/// from the warp's sector cache on every re-walk after it — the batch
+/// pays the A traffic once, while the tile bound (kSpmmTile accumulator
+/// sets) keeps register pressure flat for any width. Per column the
+/// per-lane stride-V accumulation and butterfly reduction run in exactly
+/// the scalar kernel's order, so each output column is bit-identical to
+/// csr_vector_warp. Takes the same (row_map, warp_first_slot) plumbing as
+/// csr_vector_warp so the ACSR bin SpMM grids could share it. xp is the
+/// packed row-major x slab (xp[col*k + c], EngineBase::stage_x_pack): a
+/// tile's kt gathers per matrix column land in contiguous elements, so
+/// the batch shares x sectors across the tile instead of paying one per
+/// column.
+template <class T>
+void csr_vector_spmm_warp(vgpu::Warp& w, int vec_size,
+                          vgpu::DeviceSpan<const mat::offset_t> row_start,
+                          vgpu::DeviceSpan<const mat::offset_t> row_end,
+                          vgpu::DeviceSpan<const mat::index_t> col_idx,
+                          vgpu::DeviceSpan<const T> vals,
+                          vgpu::DeviceSpan<const T> xp, vgpu::DeviceSpan<T> yb,
+                          long long ldy, long long n_rows,
+                          vgpu::DeviceSpan<const mat::index_t> row_map,
+                          long long map_size, long long warp_first_slot,
+                          int k, bool use_tex = true) {
+  using vgpu::LaneArray;
+  using vgpu::Mask;
+
+  LaneArray<long long> slot;
+  LaneArray<int> sub;
+  for (int l = 0; l < vgpu::kWarpSize; ++l) {
+    slot[l] = warp_first_slot + l / vec_size;
+    sub[l] = l % vec_size;
+  }
+  Mask live = 0;
+  for (int l = 0; l < vgpu::kWarpSize; ++l)
+    if (vgpu::lane_active(w.active_mask(), l) && slot[l] < map_size)
+      live |= vgpu::lane_bit(l);
+  if (live == 0) return;
+
+  LaneArray<long long> row;
+  if (row_map.empty()) {
+    row = slot;
+  } else {
+    const LaneArray<mat::index_t> mapped = w.load(row_map, slot, live);
+    for (int l = 0; l < vgpu::kWarpSize; ++l) row[l] = mapped[l];
+  }
+
+  const LaneArray<mat::offset_t> start = w.load(row_start, row, live);
+  const LaneArray<mat::offset_t> end = w.load(row_end, row, live);
+  w.count_alu(3);  // slot/sub decode
+
+  Mask heads = 0;
+  for (int l = 0; l < vgpu::kWarpSize; ++l)
+    if (vgpu::lane_active(live, l) && sub[l] == 0)
+      heads |= vgpu::lane_bit(l);
+
+  for (int c_begin = 0; c_begin < k; c_begin += kSpmmTile) {
+    const int kt = std::min(k, c_begin + kSpmmTile) - c_begin;
+    w.count_alu(1);  // tile bookkeeping
+
+    std::vector<vgpu::DeviceSpan<T>> ycol(static_cast<std::size_t>(kt));
+    for (int c = 0; c < kt; ++c) {
+      const auto gc = static_cast<std::size_t>(c_begin + c);
+      ycol[static_cast<std::size_t>(c)] =
+          yb.subspan(gc * static_cast<std::size_t>(ldy),
+                     static_cast<std::size_t>(n_rows));
+    }
+
+    LaneArray<mat::offset_t> i;
+    for (int l = 0; l < vgpu::kWarpSize; ++l) i[l] = start[l] + sub[l];
+
+    std::vector<LaneArray<T>> sums(static_cast<std::size_t>(kt));
+    Mask m = 0;
+    for (Mask rem = live; rem != 0; rem &= rem - 1) {
+      const int l = std::countr_zero(rem);
+      if (i[l] < end[l]) m |= vgpu::lane_bit(l);
+    }
+    while (m != 0) {
+      LaneArray<mat::index_t> col{};
+      LaneArray<T> val{};
+      // A sectors: DRAM on the first tile, warp sector cache afterwards.
+      w.load_pair(col_idx, vals, i, m, col, val);
+      // Packed gather base: lane l's tile slice is xp[col*k + c_begin ..
+      // +kt-1]. On the texture path one short-vector fetch serves the
+      // whole slice (charged per contiguous sector); the uncached path
+      // keeps per-element gathers — it has no sector reuse to expose.
+      LaneArray<long long> pidx{};
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int l = std::countr_zero(rem);
+        pidx[l] = static_cast<long long>(col[l]) * k + c_begin;
+      }
+      w.count_alu(1);  // packed-index math
+      LaneArray<T> xv[kSpmmTile];
+      if (use_tex) {
+        w.load_tex_vec(xp, pidx, kt, m, xv);
+      } else {
+        for (int c = 0; c < kt; ++c) {
+          LaneArray<long long> pc = pidx;
+          for (Mask rem = m; rem != 0; rem &= rem - 1)
+            pc[std::countr_zero(rem)] += c;
+          xv[c] = w.load_gather_uncached(xp, pc, m);
+        }
+      }
+      for (int c = 0; c < kt; ++c) {
+        vgpu::fma_into(sums[static_cast<std::size_t>(c)], val, xv[c], m);
+        w.count_flops(m, 2, sizeof(T) == 8);
+      }
+      w.count_alu(2);
+      Mask next = 0;
+      if (m == vgpu::kFullMask) {
+        for (int l = 0; l < vgpu::kWarpSize; ++l) {
+          i[l] += vec_size;
+          if (i[l] < end[l]) next |= vgpu::lane_bit(l);
+        }
+      } else {
+        for (Mask rem = m; rem != 0; rem &= rem - 1) {
+          const int l = std::countr_zero(rem);
+          i[l] += vec_size;
+          if (i[l] < end[l]) next |= vgpu::lane_bit(l);
+        }
+      }
+      m = next;
+    }
+
+    for (int c = 0; c < kt; ++c) {
+      const LaneArray<T> red =
+          w.reduce_add(sums[static_cast<std::size_t>(c)], live, vec_size);
+      w.store(ycol[static_cast<std::size_t>(c)], row, red, heads);
+    }
+  }
+}
+
 /// The CUSP heuristic: vector size = nearest power of two to the mean row
 /// length, clamped to [2, 32].
 inline int choose_vector_size(double mean_nnz_per_row) {
@@ -214,6 +348,56 @@ class CsrVectorEngine final : public EngineBase<T> {
     return run.duration_s;
   }
 
+  /// Real column-blocked SpMM: the scalar kernel's slot grid, each warp
+  /// looping over the column tiles with its matrix sectors kept hot in
+  /// its sector cache.
+  double simulate_batch(const mat::DenseBlock<T>& x_block,
+                        mat::DenseBlock<T>& y_block) override {
+    ACSR_CHECK(x_block.rows == host_.cols);
+    if (x_block.width == 0) {
+      y_block.resize(host_.rows, 0);
+      return 0.0;
+    }
+    if (x_block.width == 1) return this->simulate_batch_loop(x_block, y_block);
+
+    const int k = x_block.width;
+    const long long ldy = mat::DenseBlock<T>::padded_ld(host_.rows);
+    auto xp = this->stage_x_pack(x_block);
+    auto yb = this->stage_y_block(
+        static_cast<std::size_t>(ldy) * static_cast<std::size_t>(k), k);
+
+    const int rows_per_warp = vgpu::kWarpSize / vec_size_;
+    const long long warps_needed =
+        (static_cast<long long>(host_.rows) + rows_per_warp - 1) /
+        rows_per_warp;
+    const int warps_per_block = 4;
+    vgpu::LaunchConfig cfg;
+    cfg.name = "csr_vector_spmm";
+    cfg.block_dim = warps_per_block * vgpu::kWarpSize;
+    cfg.grid_dim = std::max<long long>(
+        1, (warps_needed + warps_per_block - 1) / warps_per_block);
+
+    const auto nrows = static_cast<std::size_t>(host_.rows);
+    auto rs = dev_csr_.row_off.cspan().subspan(0, nrows);
+    auto re = dev_csr_.row_off.cspan().subspan(1, nrows);
+    auto ci = dev_csr_.col_idx.cspan();
+    auto va = dev_csr_.vals.cspan();
+    const long long n = host_.rows;
+    const int v = vec_size_;
+    const vgpu::KernelRun run =
+        this->dev_.launch_warps(cfg, [&](vgpu::Warp& w) {
+          const long long first = w.global_warp() * rows_per_warp;
+          if (first >= n) return;
+          csr_vector_spmm_warp<T>(w, v, rs, re, ci, va, xp, yb, ldy, n,
+                                  vgpu::DeviceSpan<const mat::index_t>(), n,
+                                  first, k);
+        });
+    this->report_.last_run = run;
+    y_block.resize(host_.rows, k);
+    y_block.data = this->staged_y_block(k);
+    return run.duration_s;
+  }
+
  private:
   mat::Csr<T> host_;
   CsrDevice<T> dev_csr_;
@@ -231,12 +415,18 @@ inline analysis::ShapeClass csr_vector_shape_class() {
   const an::Sym n_rows = an::Sym::param("n_rows");
   const an::Sym n_cols = an::Sym::param("n_cols");
   const an::Sym nnz = an::Sym::param("nnz");
+  const an::Sym k = an::Sym::param("k");
+  const an::Sym ldy_pad = an::Sym::param("ldy_pad");
   an::ShapeClass sc;
   sc.engine = "csr-vector";
   sc.params = {an::param("n_rows", 0, "matrix rows"),
                an::param("n_cols", 0, "matrix columns"),
                an::param("nnz", 0, "stored non-zeros"),
-               an::param("grid", 1, "launch grid dim")};
+               an::param("grid", 1, "launch grid dim"),
+               // Batched SpMM operands (k >= 1: simulate_batch never
+               // launches on a 0-column block — the verified no-op).
+               an::param("k", 1, "batch width (0-column blocks never launch)"),
+               an::param("ldy_pad", 0, "y-block row padding (ldy - n_rows)")};
   sc.spans = {
       an::index_span("row_start", n_rows, {an::Sym(0), nnz},
                      "per-row begin offsets", true),
@@ -247,6 +437,11 @@ inline analysis::ShapeClass csr_vector_shape_class() {
       an::data_span("vals", nnz, "non-zero values"),
       an::data_span("x", n_cols, "input vector"),
       an::data_span("y", n_rows, "output vector", /*initialized=*/false),
+      an::data_span("xpack", n_cols * k,
+                    "packed row-major x slab (xpack[col*k + c])"),
+      an::data_span("yb", (n_rows + ldy_pad) * k,
+                    "column-major y block, leading dim n_rows + ldy_pad",
+                    /*initialized=*/false),
   };
   return sc;
 }

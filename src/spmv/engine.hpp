@@ -13,12 +13,14 @@
 #pragma once
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "mat/csr.hpp"
+#include "mat/dense_block.hpp"
 #include "vgpu/device.hpp"
 
 namespace acsr::spmv {
@@ -57,6 +59,25 @@ class SpmvEngine {
 
   virtual const EngineReport& report() const = 0;
 
+  /// Batched host-side SpMM: Y = A X, one column per query vector. The
+  /// default loops the scalar apply() column by column, so every engine is
+  /// correct by construction and bit-identical to k scalar applies; the
+  /// hot engines override simulate_batch with real column-blocked kernels
+  /// (the host path stays the loop — exactness is the contract).
+  virtual void apply_batch(const mat::DenseBlock<T>& x_block,
+                           mat::DenseBlock<T>& y_block) const {
+    apply_batch_loop(x_block, y_block);
+  }
+
+  /// Batched simulated SpMM on the device; returns simulated seconds for
+  /// the whole block. Default: k sequential simulate() calls (no
+  /// amortization — the baseline the real SpMM kernels are measured
+  /// against). A 0-column block is a no-op: no kernel is launched.
+  virtual double simulate_batch(const mat::DenseBlock<T>& x_block,
+                                mat::DenseBlock<T>& y_block) {
+    return simulate_batch_loop(x_block, y_block);
+  }
+
   /// Memoized simulated time of one SpMV with a canonical input. The
   /// simulator is deterministic and the kernel time does not depend on the
   /// values of x, so iterative apps can use iterations * spmv_seconds().
@@ -78,6 +99,37 @@ class SpmvEngine {
 
  protected:
   void invalidate_cache() { cached_spmv_s_ = -1.0; }
+
+  /// The correct-by-construction batched paths: column loop over the
+  /// scalar virtuals. Shared by the defaults above and by the real-SpMM
+  /// engines' width<=1 fast paths (a width-1 batch must go through the
+  /// scalar simulate() so its launch sequence — and with it the memo
+  /// cache key material — is exactly the SpMV one).
+  void apply_batch_loop(const mat::DenseBlock<T>& x_block,
+                        mat::DenseBlock<T>& y_block) const {
+    ACSR_CHECK(x_block.rows == cols());
+    y_block.resize(rows(), x_block.width);
+    std::vector<T> y;
+    for (int c = 0; c < x_block.width; ++c) {
+      const std::vector<T> x = x_block.column(c);
+      apply(x, y);
+      y_block.set_column(c, y);
+    }
+  }
+
+  double simulate_batch_loop(const mat::DenseBlock<T>& x_block,
+                             mat::DenseBlock<T>& y_block) {
+    ACSR_CHECK(x_block.rows == cols());
+    y_block.resize(rows(), x_block.width);
+    double total_s = 0.0;
+    std::vector<T> y;
+    for (int c = 0; c < x_block.width; ++c) {
+      const std::vector<T> x = x_block.column(c);
+      total_s += simulate(x, y);
+      y_block.set_column(c, y);
+    }
+    return total_s;
+  }
 
  private:
   double cached_spmv_s_ = -1.0;
@@ -136,13 +188,73 @@ class EngineBase : public SpmvEngine<T> {
   /// Host view of the staged output after the kernels ran.
   const std::vector<T>& staged_y() const { return y_scratch_.host(); }
 
+  /// Block counterparts of stage_x/stage_y for the SpMM kernels. Scratch
+  /// is kept per batch width so that interleaving widths (the scheduler
+  /// mixes batch sizes; the memo cache keys entries by width) never
+  /// relocates an already-captured width's buffers — the same
+  /// iteration-stationarity requirement stage_x documents, per width.
+  ///
+  /// The input block is staged *packed row-major*: xpack[col*width + c] =
+  /// X(col, c). A warp gathering matrix column `col` for a tile of batch
+  /// columns then touches kt contiguous elements, so the texture sector
+  /// model shares segments across the tile — the x-side counterpart of
+  /// the A arrays' once-per-batch charge. (Column-major gathers put every
+  /// batch column a full vector apart: one sector per column per nnz, k
+  /// times the scalar x traffic, which is exactly what made the naive
+  /// widening memory-bound.) Packing happens host-side at staging time,
+  /// where the serving layer writes request vectors anyway; like stage_x,
+  /// no transfer is charged — x is device-resident by the paper's
+  /// measurement convention.
+  vgpu::DeviceSpan<const T> stage_x_pack(const mat::DenseBlock<T>& x_block) {
+    const auto n = static_cast<std::size_t>(x_block.rows);
+    const auto k = static_cast<std::size_t>(x_block.width);
+    auto& buf = xp_scratch_[x_block.width];
+    if (!buf.valid() || buf.size() != n * k ||
+        vgpu::sanitizer_enabled() || vgpu::fault_injection_enabled())
+      buf = dev_.template alloc<T>(n * k, "xpack");
+    auto& h = buf.host();
+    for (std::size_t c = 0; c < k; ++c)
+      for (std::size_t r = 0; r < n; ++r)
+        h[r * k + c] = x_block.at(static_cast<mat::index_t>(r),
+                                  static_cast<int>(c));
+    return buf.cspan();
+  }
+
+  /// Zero-filled output block scratch of `elems` = ld * width elements.
+  vgpu::DeviceSpan<T> stage_y_block(std::size_t elems, int width) {
+    auto& buf = yb_scratch_[width];
+    if (!buf.valid() || buf.size() != elems ||
+        vgpu::sanitizer_enabled() || vgpu::fault_injection_enabled()) {
+      buf = dev_.template alloc<T>(elems, "yb");
+    } else {
+      auto& h = buf.host();
+      std::fill(h.begin(), h.end(), T{0});
+    }
+    return buf.span();
+  }
+
+  const std::vector<T>& staged_y_block(int width) const {
+    return yb_scratch_.at(width).host();
+  }
+
   vgpu::Device& dev_;
   EngineReport report_;
 
  private:
   vgpu::DeviceBuffer<T> x_scratch_;
   vgpu::DeviceBuffer<T> y_scratch_;
+  std::map<int, vgpu::DeviceBuffer<T>> xp_scratch_;
+  std::map<int, vgpu::DeviceBuffer<T>> yb_scratch_;
 };
+
+/// Column-tile width of the batched SpMM kernels: each warp keeps one
+/// accumulator per tile column, so 8 bounds the register pressure a real
+/// kernel would spend (Yang/Buluç/Owens tile the dense operand the same
+/// way). Tiles beyond the first re-walk the matrix arrays, but within one
+/// launch the sector model (an L2-resident re-touch is not a new DRAM
+/// transaction) charges the A-traffic once — which is exactly the
+/// amortization column-blocked SpMM exists for.
+inline constexpr int kSpmmTile = 8;
 
 /// Round up to the next power of two (thread-group sizing).
 inline int pow2_ceil(long long v) {

@@ -501,6 +501,76 @@ class Warp {
     return r;
   }
 
+  /// Per-lane short-vector texture fetch: lane l reads the kt consecutive
+  /// elements s[idx[l]] .. s[idx[l]+kt-1] into out[c][l], c < kt — the
+  /// double2/float4-style vectorized gather a kernel issues against a
+  /// packed operand tile (spmv::stage_x_pack). A lane's payload spans a
+  /// contiguous run of texture sectors, so each distinct sector is probed
+  /// and charged at most once per lane. The scalar-load equivalent (kt
+  /// separate load_tex calls) probes per element, and for packed-slab
+  /// strides — where every lane's base address is congruent mod the
+  /// direct-mapped cache's way count — the cross-lane aliasing evicts each
+  /// sector before the next element's probe, re-fetching it up to kt
+  /// times. Issue cost is one memory instruction per 16 bytes of per-lane
+  /// payload (LDG.128 granularity), not one per element.
+  template <class T, class I>
+  void load_tex_vec(DeviceSpan<const T> s, const LaneArray<I>& idx, int kt,
+                    Mask m, LaneArray<T>* out) {
+    for (int c = 0; c < kt; ++c) out[c] = LaneArray<T>{};
+    if (m == 0) return;
+    if (env_.value_only) [[unlikely]] {
+      for (Mask rem = m; rem != 0; rem &= rem - 1) {
+        const int lane = std::countr_zero(rem);
+        const T* p = s.data() + static_cast<std::size_t>(idx[lane]);
+        for (int c = 0; c < kt; ++c) out[c][lane] = p[c];
+      }
+      return;
+    }
+    const auto [lo, hi] = lane_index_range(idx, m);
+    s.check_range(lo, hi + kt - 1);
+    const T* p = s.data();
+    int nsegs = 0;
+    const auto lane_body = [&](int lane) {
+      const auto i = static_cast<std::size_t>(idx[lane]);
+      for (int c = 0; c < kt; ++c) out[c][lane] = p[i + c];
+      const std::uint64_t s0 = s.addr_of(i) / kTexSegment;
+      const std::uint64_t s1 =
+          s.addr_of(i + static_cast<std::size_t>(kt) - 1) / kTexSegment;
+      for (std::uint64_t seg = s0; seg <= s1; ++seg)
+        if (!tex_cache_.hit(seg)) ++nsegs;
+      if (env_.sanitize)
+        Sanitizer::instance().note_read(s.addr_of(i),
+                                        static_cast<std::size_t>(kt) *
+                                            sizeof(T),
+                                        block_idx_, warp_in_block_, lane);
+    };
+    if (m == kFullMask) {
+      for (int lane = 0; lane < kWarpSize; ++lane) lane_body(lane);
+    } else {
+      for (Mask rem = m; rem != 0; rem &= rem - 1)
+        lane_body(std::countr_zero(rem));
+    }
+    const int nreq = static_cast<int>(
+        (static_cast<std::size_t>(kt) * sizeof(T) + 15) / 16);
+    const int active = active_lanes(m);
+    env_.counters.tex_requests += static_cast<std::uint64_t>(nreq);
+    env_.counters.tex_transactions += static_cast<std::uint64_t>(nsegs);
+    env_.counters.tex_bytes += static_cast<std::uint64_t>(nsegs) * kTexSegment;
+    if (s.size() * sizeof(T) > env_.tex_footprint_bytes)
+      env_.tex_footprint_bytes = s.size() * sizeof(T);
+    issue_ += static_cast<std::uint64_t>(nreq);
+    mem_instr_ += static_cast<std::uint64_t>(nreq);
+    if (env_.lane_prof != nullptr) [[unlikely]] {
+      env_.lane_prof->mem_lane_slots +=
+          static_cast<std::uint64_t>(nreq) * kWarpSize;
+      env_.lane_prof->mem_active_lanes +=
+          static_cast<std::uint64_t>(nreq) * static_cast<std::uint64_t>(active);
+      env_.lane_prof->useful_tex_bytes += static_cast<std::uint64_t>(active) *
+                                          static_cast<std::uint64_t>(kt) *
+                                          sizeof(T);
+    }
+  }
+
   // --- atomics -------------------------------------------------------------
   template <class T, class I>
   void atomic_add(DeviceSpan<T> s, const LaneArray<I>& idx,

@@ -28,6 +28,12 @@
 // interleavings over IncrementalCsr — must produce bit-identical results,
 // durations, and Counters with memoization on and off.
 // ACSR_MEMO_FUZZ overrides the case count (default 40).
+//
+// A fourth mode fuzzes the *batched SpMM path* (docs/SERVING.md): random
+// (matrix, engine, width) triples must satisfy apply_batch == k scalar
+// applies bit-for-bit, simulate_batch within the oracle tolerance per
+// column, width 0 a free no-op — all under the sanitizer.
+// ACSR_SPMM_FUZZ overrides the case count (default 60).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -42,6 +48,7 @@
 #include "common/rng.hpp"
 #include "core/factory.hpp"
 #include "core/incremental_csr.hpp"
+#include "mat/dense_block.hpp"
 #include "core/resilient.hpp"
 #include "graph/dynamic.hpp"
 #include "graph/powerlaw.hpp"
@@ -333,6 +340,106 @@ TEST(DifferentialFuzz, AllEnginesMatchOracleUnderSanitizer) {
   std::cout << "[fuzz] " << n_matrices << " matrices, " << total_nnz
             << " total nnz, " << stats.engine_runs << " engine runs, "
             << stats.format_skips << " format skips (seed " << seed << ")\n";
+}
+
+// Batched-SpMM fuzz: random (matrix, engine, width) triples. Contracts
+// (docs/SERVING.md): the host batch path is the k scalar applies bit for
+// bit; the device batch path — looped default or the real column-blocked
+// SpMM kernels — matches the host CSR oracle per column within the same
+// reassociation tolerance as the scalar leg; width 0 is a launch-free
+// no-op; and the sanitizer stays silent throughout.
+TEST(DifferentialFuzz, BatchedSpmmMatchesOracleUnderSanitizer) {
+  const std::uint64_t seed = env_u64("ACSR_FUZZ_SEED", 2014);
+  const std::size_t n_cases =
+      static_cast<std::size_t>(env_u64("ACSR_SPMM_FUZZ", 60));
+  using acsr::mat::DenseBlock;
+
+  Sanitizer& san = Sanitizer::instance();
+  san.clear();
+  san.set_enabled(true);
+  const Rng root(seed ^ 0x59f3);
+
+  std::size_t batch_runs = 0;
+  std::size_t format_skips = 0;
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    Rng rng = root.split(i + 1);
+    std::string family;
+    const Csr<double> a = make_fuzz_matrix(i, root.split(i + 1), &family);
+    a.validate();
+    const char* engine_name = kEngines[rng.next_below(std::size(kEngines))];
+    // Widths 0..12 cover the no-op, the width-1 fast path, a partial
+    // column tile, and a multi-tile batch (kSpmmTile = 8).
+    const int k = static_cast<int>(rng.next_below(13));
+    SCOPED_TRACE("case #" + std::to_string(i) + " [" + family +
+                 "] engine " + engine_name + " width " + std::to_string(k) +
+                 " seed " + std::to_string(seed));
+
+    DenseBlock<double> x(a.cols, k);
+    for (int c = 0; c < k; ++c)
+      for (index_t r = 0; r < a.cols; ++r)
+        x.at(r, c) = rng.next_double(0.5, 1.5);
+
+    Device dev(DeviceSpec::gtx_titan());
+    EngineConfig cfg;
+    cfg.hyb_breakeven = 64;
+    std::unique_ptr<acsr::spmv::SpmvEngine<double>> engine;
+    try {
+      engine = make_engine<double>(engine_name, dev, a, cfg);
+    } catch (const acsr::InputError&) {
+      ASSERT_STREQ(engine_name, "ell");
+      ++format_skips;
+      continue;
+    }
+
+    DenseBlock<double> y_apply;
+    engine->apply_batch(x, y_apply);
+    DenseBlock<double> y_sim;
+    const double t = engine->simulate_batch(x, y_sim);
+    ++batch_runs;
+    ASSERT_EQ(y_apply.rows, a.rows);
+    ASSERT_EQ(y_apply.width, k);
+    ASSERT_EQ(y_sim.rows, a.rows);
+    ASSERT_EQ(y_sim.width, k);
+    if (k == 0) {
+      EXPECT_EQ(t, 0.0) << "width-0 batch must not launch";
+    } else {
+      EXPECT_GE(t, 0.0);
+    }
+
+    const double eps = std::numeric_limits<double>::epsilon();
+    for (int c = 0; c < k; ++c) {
+      const std::vector<double> xc = x.column(c);
+      std::vector<double> y_scalar;
+      engine->apply(xc, y_scalar);
+      EXPECT_EQ(y_apply.column(c), y_scalar)
+          << "apply_batch diverges from scalar apply at column " << c;
+      std::vector<double> y_ref;
+      a.spmv(xc, y_ref);
+      const std::vector<double> y_col = y_sim.column(c);
+      for (std::size_t r = 0; r < y_ref.size(); ++r) {
+        const double n_row =
+            static_cast<double>(a.row_nnz(static_cast<index_t>(r)));
+        const double tol =
+            (8.0 + 8.0 * n_row) * eps * std::max(1.0, std::abs(y_ref[r]));
+        EXPECT_NEAR(y_col[r], y_ref[r], tol)
+            << "simulate_batch diverges at column " << c << " row " << r;
+      }
+    }
+
+    const auto& reports = Sanitizer::instance().reports();
+    EXPECT_TRUE(reports.empty())
+        << reports.size() << " sanitizer findings; first: "
+        << reports.front().message;
+    san.clear();
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  san.set_enabled(false);
+  san.clear();
+
+  EXPECT_EQ(batch_runs + format_skips, n_cases);
+  std::cout << "[spmm-fuzz] " << n_cases << " cases, " << batch_runs
+            << " batch runs, " << format_skips << " format skips (seed "
+            << seed << ")\n";
 }
 
 // Fault-plane fuzz: random injection plans (detectable kinds only — the

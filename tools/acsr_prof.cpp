@@ -8,7 +8,11 @@
 //
 //   acsr_prof [--matrix WIK] [--engine acsr ...] [--out metrics.json]
 //             [--trace trace.json] [--diff baseline.json]
-//             [--threshold 0.1] [--quiet]
+//             [--threshold 0.1] [--quiet] [--tenants]
+//
+// --tenants runs the deterministic three-tenant serving scenario
+// (apps/rwr_batch.hpp) through the batch scheduler on the first selected
+// engine and prints the per-tenant billing table (docs/SERVING.md).
 //
 // The tool force-enables the profiler; ACSR_PROF need not be set.
 // docs/OBSERVABILITY.md documents the metric formulas and both schemas.
@@ -21,11 +25,15 @@
 #include <vector>
 
 #include "analysis/models.hpp"
+#include "apps/rwr_batch.hpp"
 #include "common/check.hpp"
+#include "core/factory.hpp"
 #include "graph/corpus.hpp"
 #include "prof/capture.hpp"
+#include "prof/metrics.hpp"
 #include "prof/prof.hpp"
 #include "prof/report.hpp"
+#include "serve/scheduler.hpp"
 #include "vgpu/device.hpp"
 
 namespace {
@@ -40,14 +48,42 @@ struct Options {
   std::string diff_path;
   double threshold = 0.10;
   bool quiet = false;
+  bool tenants = false;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--matrix ABBREV] [--engine NAME ...] [--out FILE]\n"
                "       [--trace FILE] [--diff BASELINE] [--threshold REL]"
-               " [--quiet]\n";
+               " [--quiet] [--tenants]\n";
   return 2;
+}
+
+/// The --tenants table: the deterministic three-tenant scenario through
+/// the batch scheduler, one row per tenant, one column per registered
+/// tenant metric. All model quantities — bit-reproducible.
+void render_tenants(const std::string& engine_name,
+                    const acsr::vgpu::DeviceSpec& spec,
+                    const acsr::mat::Csr<double>& a,
+                    const acsr::core::EngineConfig& cfg) {
+  acsr::vgpu::Device dev(spec);
+  auto engine = acsr::core::make_engine<double>(engine_name, dev, a, cfg);
+  acsr::serve::BatchScheduler<double> sched(*engine);
+  acsr::apps::run_tenant_scenario(sched, a.cols);
+  std::cout << "\n==== tenant billing (" << engine_name << ", "
+            << sched.served_requests() << " requests, " << sched.batches()
+            << " batches, avg width " << sched.batch_width_avg()
+            << ", makespan " << sched.clock_s() * 1e3 << " ms) ====\n";
+  std::printf("%-8s", "tenant");
+  for (const auto& m : acsr::prof::tenant_metric_registry())
+    std::printf("  %24s", m.name);
+  std::printf("\n");
+  for (const auto& [name, agg] : sched.tenants()) {
+    std::printf("%-8s", name.c_str());
+    for (const auto& m : acsr::prof::tenant_metric_registry())
+      std::printf("  %24.6g", m.compute(agg));
+    std::printf("\n");
+  }
 }
 
 bool load_json(const std::string& path, Value* out) {
@@ -111,6 +147,8 @@ int main(int argc, char** argv) {
       opt.threshold = std::stod(v);
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--tenants") {
+      opt.tenants = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -159,6 +197,10 @@ int main(int argc, char** argv) {
               << ", scale 1/" << scale << ") ====\n";
     acsr::prof::render_engine_matrix(std::cout, doc);
   }
+
+  if (opt.tenants)
+    render_tenants(opt.engines.empty() ? "acsr" : opt.engines.front(), spec,
+                   a, cfg);
 
   if (!opt.out_path.empty() &&
       !write_text(opt.out_path, acsr::json::dump(doc, 1)))
