@@ -32,9 +32,11 @@
 #include "apps/pagerank.hpp"
 #include "apps/rwr_batch.hpp"
 #include "core/factory.hpp"
+#include "core/ooc_engine.hpp"
 #include "graph/corpus.hpp"
 #include "mat/dense_block.hpp"
 #include "prof/capture.hpp"
+#include "prof/metrics.hpp"
 #include "prof/report.hpp"
 #include "serve/scheduler.hpp"
 #include "vgpu/device.hpp"
@@ -149,6 +151,40 @@ void BM_ServeScheduler(benchmark::State& state, int max_width) {
                           static_cast<std::int64_t>(requests));
   state.counters["max_width"] = max_width;
   state.counters["sim_makespan_ms"] = makespan * 1e3;
+}
+
+/// Out-of-core streaming executor (docs/OOC.md): one full streamed SpMV
+/// per iteration with the device budget pinned to footprint/divisor, so
+/// the row-slab count — and with it the storage-plane traffic the double
+/// buffer must hide — scales with the divisor. Counters export the
+/// simulated side: slab count, read amplification (whole-stripe reads vs
+/// demand bytes), and overlap efficiency (upload time hidden behind
+/// compute; > 0 is the acceptance gate tracked by tests/test_ooc.cpp).
+void BM_OocExecutor(benchmark::State& state, int divisor) {
+  const Csr<double>& a = corpus_matrix("WIK");
+  Device dev(titan_spec());
+  const std::size_t footprint =
+      (static_cast<std::size_t>(a.rows) + 1) * sizeof(acsr::mat::offset_t) +
+      a.nnz() * (sizeof(acsr::mat::index_t) + sizeof(double));
+  acsr::core::OocOptions opt;
+  opt.budget_bytes =
+      std::max<std::size_t>(footprint / static_cast<std::size_t>(divisor),
+                            16 * 1024);
+  acsr::core::OocCsrEngine<double> engine(dev, a, opt);
+  std::vector<double> x(static_cast<std::size_t>(a.cols), 1.0);
+  std::vector<double> y;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.simulate(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+  const acsr::prof::IoAgg& io = engine.io_stats();
+  state.counters["slabs"] = static_cast<double>(engine.num_slabs());
+  state.counters["read_amp"] =
+      acsr::prof::find_io_metric("io.read_amplification")->compute(io);
+  state.counters["overlap_eff"] =
+      acsr::prof::find_io_metric("io.overlap_efficiency")->compute(io);
+  state.counters["sim_makespan_ms"] = engine.last_makespan() * 1e3;
 }
 
 /// Raw warp-gather micro: unit-stride (coalesced, the affine fast path's
@@ -351,6 +387,16 @@ void register_benches() {
         (std::string("serve_scheduler/acsr/WIK/w") + std::to_string(mw))
             .c_str(),
         [mw](benchmark::State& st) { BM_ServeScheduler(st, mw); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Out-of-core sweep: budget from half the WIK footprint (2 slabs) down
+  // to 1/16 (deep streaming) — items/s shows what the storage plane costs
+  // the executor, the counters show what the simulated overlap buys back.
+  for (const int divisor : {2, 4, 16}) {
+    benchmark::RegisterBenchmark(
+        (std::string("ooc_executor/ooc-csr/WIK/b") + std::to_string(divisor))
+            .c_str(),
+        [divisor](benchmark::State& st) { BM_OocExecutor(st, divisor); })
         ->Unit(benchmark::kMillisecond);
   }
   benchmark::RegisterBenchmark("warp_gather/affine", BM_WarpGatherAffine)

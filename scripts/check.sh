@@ -3,7 +3,9 @@
 # wall-clock is a tracked quantity, see docs/PERF.md), the cross-engine
 # differential fuzz harness at a fixed seed, the fault-injection matrix
 # (one representative ACSR_FAULTS plan per fault class through the
-# FaultEnv smoke — see docs/RESILIENCE.md — plus ctest -L faults), a
+# FaultEnv smoke — see docs/RESILIENCE.md — plus ctest -L faults), the
+# out-of-core storage matrix (one io fault plan per class through the
+# OocEnv smoke under a sub-footprint device budget — see docs/OOC.md), a
 # profiler smoke (trace JSON validated, model metrics diffed against the
 # committed PROF_baseline.json — see docs/OBSERVABILITY.md), then a quick
 # wall-clock bench smoke (does-it-run only; bench.sh refuses to fold
@@ -92,6 +94,23 @@ for plan in "${fault_plans[@]}"; do
     --gtest_filter='FaultEnv.*' --gtest_brief=1
 done
 ctest --test-dir "$build" -L faults --output-on-failure
+
+# The out-of-core tier (docs/OOC.md): one representative plan per storage
+# fault class through the OocEnv smoke, which solves under a device budget
+# smaller than the matrix footprint and requires either a bitwise-clean
+# recovery or a typed IoError escalation.
+echo "== out-of-core storage matrix (one plan per io fault class)"
+ooc_plans=(
+  "io_transient@read#1"
+  "io_timeout@read#1:ms=20"
+  "io_checksum@read#1:seed=5"
+  "io_degrade@read#1*3:x=4"
+)
+for plan in "${ooc_plans[@]}"; do
+  echo "   ACSR_FAULTS=\"$plan\""
+  ACSR_FAULTS="$plan" "$build/tests/test_ooc" \
+    --gtest_filter='OocEnv.*' --gtest_brief=1
+done
 
 echo "== profiler smoke (acsr_prof trace + metric drift vs PROF_baseline.json)"
 prof_trace="$(mktemp --suffix=.json)"

@@ -3,10 +3,11 @@
 # Four rules the static verifier's and profiler's soundness stories lean on:
 #
 #   1. Every header under src/ carries #pragma once.
-#   2. No raw .data() escapes outside the two files allowed to flatten a
-#      span to a pointer (src/vgpu/memory.hpp defines spans; warp.hpp's
-#      metered fast paths are the audited exception). Everything else must
-#      go through the bounds-checked span interface the verifier models.
+#   2. No raw .data() escapes outside the three files allowed to flatten
+#      to a pointer (src/vgpu/memory.hpp defines spans; warp.hpp's metered
+#      fast paths and storage/tier.hpp's byte-plane make_segment are the
+#      audited exceptions). Everything else must go through the
+#      bounds-checked span interface the verifier models.
 #   3. Counters parity: every field of vgpu::Counters is both merged in
 #      counters.hpp (declaration + operator+=) and actually metered
 #      somewhere in the engine (warp.hpp / device.cpp / kernel.cpp), so
@@ -17,7 +18,10 @@
 #      a new counter cannot ship invisible to acsr_prof / --diff. The same
 #      parity covers the serving plane: every prof::TenantAgg billing field
 #      must have a "tenant.<field>" passthrough, so a new billing column
-#      cannot ship invisible to acsr_prof --tenants.
+#      cannot ship invisible to acsr_prof --tenants. And the storage
+#      plane: every prof::IoAgg field must have an "io.<field>"
+#      passthrough, so a new out-of-core counter cannot ship invisible
+#      to acsr_prof --ooc.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -35,7 +39,7 @@ done < <(find src -name '*.hpp')
 while IFS= read -r line; do
   f=${line%%:*}
   case "$f" in
-    src/vgpu/memory.hpp|src/vgpu/warp.hpp) ;;
+    src/vgpu/memory.hpp|src/vgpu/warp.hpp|src/storage/tier.hpp) ;;
     *)
       echo "lint: raw .data() outside the span layer: $line"
       fail=1
@@ -89,6 +93,22 @@ for f in $tenant_fields; do
   if ! grep -Eq "ACSR_TENANT_METRIC\($f[,)]|\"tenant\.$f\"" \
        src/prof/metrics.cpp; then
     echo "lint: TenantAgg::$f has no 'tenant.$f' passthrough metric" \
+         "registered in src/prof/metrics.cpp"
+    fail=1
+  fi
+done
+
+# The storage mirror: IoAgg fields (uint64 and double) -> "io.<f>".
+io_fields=$(sed -n '/^struct IoAgg {$/,/^};$/p' src/prof/metrics.hpp |
+  sed -n 's/^ *\(std::uint64_t\|double\) \([a-z_][a-z_0-9]*\) = .*/\2/p')
+if [ -z "$io_fields" ]; then
+  echo "lint: could not parse any IoAgg fields from src/prof/metrics.hpp"
+  fail=1
+fi
+for f in $io_fields; do
+  if ! grep -Eq "ACSR_IO_METRIC\($f[,)]|\"io\.$f\"" \
+       src/prof/metrics.cpp; then
+    echo "lint: IoAgg::$f has no 'io.$f' passthrough metric" \
          "registered in src/prof/metrics.cpp"
     fail=1
   fi

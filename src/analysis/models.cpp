@@ -17,6 +17,7 @@
 
 #include "common/check.hpp"
 #include "core/acsr_engine.hpp"
+#include "core/ooc_engine.hpp"
 #include "spmv/bccoo_engine.hpp"
 #include "spmv/bcsr_engine.hpp"
 #include "spmv/brc_engine.hpp"
@@ -501,6 +502,28 @@ void model_acsr(Verifier& v, bool enable_dp) {
   });
 }
 
+/// Out-of-core slab bin grid (ooc_engine.hpp run_slab): the ACSR bin
+/// structure at slab granularity — a mapped-row csr_vector walk over the
+/// injective slab-local bin row map, with slab-rebased extent arrays and
+/// a slab-local y. n_rows is the *slab* height; the column gather stays
+/// global because x is fully device-resident while the matrix streams.
+void model_ooc(Verifier& v) {
+  v.launch("ooc_slab_bin", v.p("grid"), 128, [&](AbsKernel& k) {
+    const AbsLanes slot = AbsLanes::of_range(
+        AbsInt(Sym(0), v.p("n_slots") - Sym(1)), /*distinct=*/true);
+    const AbsLanes row =
+        k.load(v.span("ooc.bin_rows"), slot, "bin_rows[slot]");
+    const AbsLanes start = k.load(v.span("row_start"), row, "row_start[row]");
+    const AbsLanes end = k.load(v.span("row_end"), row, "row_end[row]");
+    const AbsLanes i = AbsLanes::of_range(
+        AbsInt(start.range.lo, end.range.hi - Sym(1)));
+    const auto cv = k.load_pair(v.span("col_idx"), v.span("vals"), i,
+                                "col_idx/vals[i] (start <= i < end)");
+    k.load_tex(v.span("x"), cv.first, "x[col]");
+    k.store(v.span("y"), row, "y[bin_rows[slot]] = sum (heads)");
+  });
+}
+
 // --- registry ----------------------------------------------------------------
 
 struct EngineModel {
@@ -527,6 +550,7 @@ const EngineModel kEngines[] = {
      [](Verifier& v) { model_acsr(v, /*enable_dp=*/true); }},
     {"acsr-binning", core::acsr_shape_class,
      [](Verifier& v) { model_acsr(v, /*enable_dp=*/false); }},
+    {"ooc-csr", core::ooc_shape_class, model_ooc},
 };
 
 const EngineModel* find_engine(const std::string& name) {

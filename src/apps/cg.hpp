@@ -141,6 +141,7 @@ CgResult<T> conjugate_gradient_checkpointed(core::ResilientEngine<T>& engine,
   int k = 0;
   while (k < cfg.max_iters) {
     const int failovers_before = engine.failovers();
+    const int fallbacks_before = engine.fallbacks();
     double t;
     try {
       t = engine.simulate(st.p, ap);
@@ -159,6 +160,16 @@ CgResult<T> conjugate_gradient_checkpointed(core::ResilientEngine<T>& engine,
     }
     if (engine.failovers() != failovers_before) {
       k = ckpt.restart("spmv spanned device failover", &st);
+      continue;
+    }
+    if (engine.fallbacks() != fallbacks_before) {
+      // CG's three-term recurrence assumes every SpMV rounds in the same
+      // order; a mid-solve format fallback (down to the out-of-core rung)
+      // breaks that, so resume the recurrence from the last checkpoint on
+      // the new format.
+      k = ckpt.restart("spmv spanned format fallback to " +
+                           engine.active_format(),
+                       &st);
       continue;
     }
     if (pap <= 0.0) break;  // not SPD (or numerical breakdown)

@@ -112,6 +112,7 @@ AppResult<T> power_method_checkpointed(core::ResilientEngine<T>& engine,
   int k = 0;
   while (k < cfg.max_iters) {
     const int failovers_before = engine.failovers();
+    const int fallbacks_before = engine.fallbacks();
     double t;
     try {
       t = engine.simulate(v, y);
@@ -132,6 +133,16 @@ AppResult<T> power_method_checkpointed(core::ResilientEngine<T>& engine,
     }
     if (engine.failovers() != failovers_before) {
       k = ckpt.restart("spmv spanned device failover", &v);
+      continue;
+    }
+    if (engine.fallbacks() != fallbacks_before) {
+      // Mid-solve format degradation (including the terminal out-of-core
+      // rung): the driver re-ran the SpMV on the new format, but each
+      // format rounds in its own order — resume from the last checkpoint
+      // so the whole remaining solve is coherent on one format.
+      k = ckpt.restart("spmv spanned format fallback to " +
+                           engine.active_format(),
+                       &v);
       continue;
     }
     if (norm == 0.0) break;  // matrix annihilated the iterate

@@ -112,6 +112,7 @@ AppResult<T> pagerank_checkpointed(core::ResilientEngine<T>& engine,
   int k = 0;
   while (k < cfg.iter.max_iters) {
     const int failovers_before = engine.failovers();
+    const int fallbacks_before = engine.fallbacks();
     double t;
     try {
       t = engine.simulate(pr, y);
@@ -140,6 +141,16 @@ AppResult<T> pagerank_checkpointed(core::ResilientEngine<T>& engine,
       // and re-ran it, but the conservative protocol re-validates from
       // the last consistent checkpoint.
       k = ckpt.restart("spmv spanned device failover", &pr);
+      continue;
+    }
+    if (engine.fallbacks() != fallbacks_before) {
+      // Same conservatism for format degradation (e.g. OOM pushing the
+      // solve onto the out-of-core rung): re-validate from the last
+      // checkpoint so the remaining iterations run coherently on the
+      // format that will finish the solve.
+      k = ckpt.restart("spmv spanned format fallback to " +
+                           engine.active_format(),
+                       &pr);
       continue;
     }
     for (std::size_t i = 0; i < n; ++i)

@@ -8,6 +8,7 @@
 #include "analysis/verify.hpp"
 #include "core/acsr_engine.hpp"
 #include "core/memo_engine.hpp"
+#include "core/ooc_engine.hpp"
 #include "spmv/bccoo_engine.hpp"
 #include "spmv/bcsr_engine.hpp"
 #include "spmv/brc_engine.hpp"
@@ -32,12 +33,14 @@ struct EngineConfig {
   /// SELL-C-sigma sorting-window size (multiple of 32).
   mat::index_t sell_sigma = 256;
   AcsrOptions acsr;
+  /// Out-of-core streaming tier (budget, storage array, retry policy).
+  OocOptions ooc;
 };
 
 /// Known names: csr-scalar, csr (cuSPARSE warp-per-row), csr-vector
 /// (CUSP-adaptive), ell, coo, hyb, brc, bccoo, tcoo, sic, bcsr, sell
 /// (SELL-C-sigma), merge-csr (Merrill-Garland style), acsr, acsr-binning
-/// (dynamic parallelism off).
+/// (dynamic parallelism off), ooc-csr (out-of-core streaming tier).
 template <class T>
 std::unique_ptr<spmv::SpmvEngine<T>> make_engine(const std::string& name,
                                                  vgpu::Device& dev,
@@ -80,6 +83,8 @@ std::unique_ptr<spmv::SpmvEngine<T>> make_engine(const std::string& name,
       o.binning.enable_dp = false;
       return std::make_unique<AcsrEngine<T>>(dev, a, o);
     }
+    if (name == "ooc-csr")
+      return std::make_unique<OocCsrEngine<T>>(dev, a, cfg.ooc);
     ACSR_REQUIRE(false, "unknown SpMV engine '" << name << "'");
   };
   auto engine = build();

@@ -13,7 +13,12 @@
 //   DeviceOom        format fallback: walk a degradation chain
 //                    (ACSR -> CSR-vector -> CSR-scalar; padded formats
 //                    -> CSR-scalar), so the paper's Ø entries become a
-//                    degraded-mode result instead of a bench abort
+//                    degraded-mode result instead of a bench abort. The
+//                    terminal rung is the out-of-core streaming tier
+//                    ("ooc-csr", src/core/ooc_engine.hpp): when even the
+//                    raw CSR arrays don't fit, the matrix streams from
+//                    the simulated storage plane in budget-sized slabs
+//                    and the solve completes instead of throwing
 //   DeviceLost       failover: rebuild the active format on the next
 //                    surviving device of the provided set
 //
@@ -61,13 +66,16 @@ struct ResilienceOptions {
 /// The default degradation chain for a format: ACSR degrades through the
 /// CSR kernels it was built from; padded/preprocessed formats (the Ø rows
 /// of Table III) degrade straight to CSR-scalar, which allocates no more
-/// than the raw CSR arrays.
+/// than the raw CSR arrays. Every chain ends at the out-of-core streaming
+/// tier, whose resident footprint is two budget-sized slabs — the rung
+/// that still works when the matrix itself doesn't fit.
 inline std::vector<std::string> default_fallback_chain(
     const std::string& preferred) {
+  if (preferred == "ooc-csr") return {preferred};
   if (preferred == "acsr" || preferred == "acsr-binning")
-    return {preferred, "csr-vector", "csr-scalar"};
-  if (preferred == "csr-scalar") return {preferred};
-  return {preferred, "csr-scalar"};
+    return {preferred, "csr-vector", "csr-scalar", "ooc-csr"};
+  if (preferred == "csr-scalar") return {preferred, "ooc-csr"};
+  return {preferred, "csr-scalar", "ooc-csr"};
 }
 
 template <class T>
@@ -140,6 +148,13 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
   int fallbacks() const { return fallbacks_; }
   int failovers() const { return failovers_; }
 
+  /// Every "fault:..." / "recovery:..." mark in order, as plain strings —
+  /// the typed evidence trail callers assert on without walking the
+  /// timeline log (which interleaves backoff/checkpoint entries).
+  const std::vector<std::string>& recovery_log() const {
+    return recovery_log_;
+  }
+
   /// Every fault and recovery action, in order, as timeline entries
   /// ("fault:...", "recovery:...", plus solver "checkpoint..."/"restart..."
   /// marks added via note_event).
@@ -210,6 +225,7 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
 
   void note(const std::string& tag) {
     timeline_.enqueue(stream_, 0.0, tag);
+    recovery_log_.push_back(tag);
     // Mirror fault/recovery marks into the trace as instant events.
     if (prof::profiler_enabled()) [[unlikely]]
       prof::Profiler::instance().instant(tag);
@@ -221,12 +237,21 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
     note("recovery:scrub re-uploaded " + active_format() + " from host");
   }
 
-  void fall_back_or_rethrow() {
+  /// The one place the degradation chain advances (shared by the simulate
+  /// ladder and the build ladder): rethrows the in-flight exception when
+  /// the chain is exhausted, otherwise steps to the next rung and logs it.
+  /// Callers decide whether a rebuild follows (the build ladder is already
+  /// inside its retry loop; the simulate ladder rebuilds explicitly).
+  void advance_chain_or_rethrow() {
     if (chain_pos_ + 1 >= opt_.fallback_chain.size()) throw;
     ++chain_pos_;
     ++fallbacks_;
-    rebuild("fallback");
     note("recovery:fallback to " + active_format());
+  }
+
+  void fall_back_or_rethrow() {
+    advance_chain_or_rethrow();
+    rebuild("fallback");
   }
 
   void fail_over_or_rethrow() {
@@ -285,18 +310,12 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
         return;
       } catch (const vgpu::DeviceOom& e) {
         note(std::string("fault:oom ") + e.what());
-        if (chain_pos_ + 1 >= opt_.fallback_chain.size()) throw;
-        ++chain_pos_;
-        ++fallbacks_;
-        note("recovery:fallback to " + active_format());
+        advance_chain_or_rethrow();
       } catch (const acsr::InputError&) {
         // A format's own refusal (pure ELL's expansion bound): degraded
         // mode, same as preprocessing OOM — unless nothing is left to
         // degrade to.
-        if (chain_pos_ + 1 >= opt_.fallback_chain.size()) throw;
-        ++chain_pos_;
-        ++fallbacks_;
-        note("recovery:fallback to " + active_format());
+        advance_chain_or_rethrow();
       } catch (const vgpu::TransientFault& e) {
         if (retries_left-- == 0) throw;
         note("fault:transient " + where_of(e));
@@ -333,6 +352,7 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
   int scrubs_ = 0;
   int fallbacks_ = 0;
   int failovers_ = 0;
+  std::vector<std::string> recovery_log_;
 };
 
 }  // namespace acsr::core

@@ -26,24 +26,23 @@ bool blank(const std::string& s) {
 
 }  // namespace
 
-// Hardened reader: every parse error carries the 1-based line number, every
-// numeric field is checked to extract cleanly (a malformed value used to
-// silently default to 1.0 — a data corruption, not a parse error), entry
-// lines must not carry trailing tokens, and non-finite values (NaN/Inf,
-// including overflowed literals like 1e999) are rejected — they would
-// propagate through every SpMV and poison the iterative apps' convergence
-// checks.
-Coo<double> read_matrix_market(std::istream& in) {
-  long long lineno = 0;
-  std::string line;
-  auto next_line = [&in, &lineno, &line]() {
-    if (!std::getline(in, line)) return false;
-    ++lineno;
-    return true;
-  };
+// Hardened streaming reader: every parse error carries the 1-based line
+// number, every numeric field is checked to extract cleanly (a malformed
+// value used to silently default to 1.0 — a data corruption, not a parse
+// error), entry lines must not carry trailing tokens, and non-finite
+// values (NaN/Inf, including overflowed literals like 1e999) are rejected
+// — they would propagate through every SpMV and poison the iterative
+// apps' convergence checks.
 
+bool MatrixMarketStream::next_line() {
+  if (!std::getline(in_, line_)) return false;
+  ++lineno_;
+  return true;
+}
+
+MatrixMarketStream::MatrixMarketStream(std::istream& in) : in_(in) {
   ACSR_REQUIRE(next_line(), "empty Matrix Market stream");
-  std::istringstream header(line);
+  std::istringstream header(line_);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
   ACSR_REQUIRE(banner == "%%MatrixMarket",
@@ -58,67 +57,90 @@ Coo<double> read_matrix_market(std::istream& in) {
                "line 1: unsupported field type: " << field);
   ACSR_REQUIRE(symmetry == "general" || symmetry == "symmetric",
                "line 1: unsupported symmetry: " << symmetry);
+  pattern_ = field == "pattern";
+  symmetric_ = symmetry == "symmetric";
 
   // Skip comment and blank lines up to the dimensions line.
   bool have_dims = false;
   while (next_line()) {
-    if (line.empty() || line[0] == '%' || blank(line)) continue;
+    if (line_.empty() || line_[0] == '%' || blank(line_)) continue;
     have_dims = true;
     break;
   }
-  ACSR_REQUIRE(have_dims, "line " << lineno << ": missing dimensions line");
-  std::istringstream dims(line);
+  ACSR_REQUIRE(have_dims, "line " << lineno_ << ": missing dimensions line");
+  std::istringstream dims(line_);
   long long rows = 0, cols = 0, entries = 0;
   ACSR_REQUIRE(dims >> rows >> cols >> entries,
-               "line " << lineno << ": malformed dimensions line: " << line);
+               "line " << lineno_ << ": malformed dimensions line: " << line_);
   std::string extra;
-  ACSR_REQUIRE(!(dims >> extra), "line " << lineno
+  ACSR_REQUIRE(!(dims >> extra), "line " << lineno_
                                          << ": trailing tokens after "
                                             "dimensions: "
-                                         << line);
+                                         << line_);
   ACSR_REQUIRE(rows > 0 && cols > 0 && entries >= 0,
-               "line " << lineno << ": bad dimensions: " << line);
+               "line " << lineno_ << ": bad dimensions: " << line_);
   constexpr long long kMaxDim = std::numeric_limits<index_t>::max();
   ACSR_REQUIRE(rows <= kMaxDim && cols <= kMaxDim,
-               "line " << lineno << ": dimensions exceed 32-bit index range: "
-                       << line);
+               "line " << lineno_ << ": dimensions exceed 32-bit index range: "
+                       << line_);
+  rows_ = static_cast<index_t>(rows);
+  cols_ = static_cast<index_t>(cols);
+  entries_ = entries;
+}
 
-  Coo<double> m;
-  m.rows = static_cast<index_t>(rows);
-  m.cols = static_cast<index_t>(cols);
-  m.reserve(static_cast<std::size_t>(entries) *
-            (symmetry == "symmetric" ? 2 : 1));
-
-  for (long long e = 0; e < entries; ++e) {
-    ACSR_REQUIRE(next_line(), "line " << lineno << ": truncated file: expected "
-                                      << entries << " entries, got " << e);
-    if (line.empty() || line[0] == '%' || blank(line)) {
-      --e;  // comment/blank lines between entries don't count
-      continue;
-    }
-    std::istringstream es(line);
+bool MatrixMarketStream::next_chunk(std::vector<MmEntry>& out,
+                                    std::size_t max_entries) {
+  out.clear();
+  if (consumed_ >= entries_) return false;
+  while (consumed_ < entries_ && out.size() < max_entries) {
+    ACSR_REQUIRE(next_line(), "line " << lineno_
+                                      << ": truncated file: expected "
+                                      << entries_ << " entries, got "
+                                      << consumed_);
+    if (line_.empty() || line_[0] == '%' || blank(line_))
+      continue;  // comment/blank lines between entries don't count
+    std::istringstream es(line_);
     long long r = 0, c = 0;
     double v = 1.0;
-    ACSR_REQUIRE(es >> r, "line " << lineno << ": malformed row index: "
-                                  << line);
-    ACSR_REQUIRE(es >> c, "line " << lineno << ": malformed column index: "
-                                  << line);
-    if (field != "pattern") {
+    ACSR_REQUIRE(es >> r, "line " << lineno_ << ": malformed row index: "
+                                  << line_);
+    ACSR_REQUIRE(es >> c, "line " << lineno_ << ": malformed column index: "
+                                  << line_);
+    if (!pattern_) {
       ACSR_REQUIRE(es >> v,
-                   "line " << lineno << ": malformed value: " << line);
-      ACSR_REQUIRE(std::isfinite(v), "line " << lineno
+                   "line " << lineno_ << ": malformed value: " << line_);
+      ACSR_REQUIRE(std::isfinite(v), "line " << lineno_
                                              << ": non-finite value: "
-                                             << line);
+                                             << line_);
     }
-    ACSR_REQUIRE(!(es >> extra), "line " << lineno
+    std::string extra;
+    ACSR_REQUIRE(!(es >> extra), "line " << lineno_
                                          << ": trailing tokens after entry: "
-                                         << line);
-    ACSR_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                 "line " << lineno << ": entry out of range: " << line);
-    m.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
-    if (symmetry == "symmetric" && r != c)
-      m.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+                                         << line_);
+    ACSR_REQUIRE(r >= 1 && r <= rows_ && c >= 1 && c <= cols_,
+                 "line " << lineno_ << ": entry out of range: " << line_);
+    out.push_back(MmEntry{static_cast<index_t>(r - 1),
+                          static_cast<index_t>(c - 1), v});
+    if (symmetric_ && r != c)
+      out.push_back(MmEntry{static_cast<index_t>(c - 1),
+                            static_cast<index_t>(r - 1), v});
+    ++consumed_;
   }
+  return true;
+}
+
+Coo<double> read_matrix_market(std::istream& in) {
+  MatrixMarketStream ms(in);
+  Coo<double> m;
+  m.rows = ms.rows();
+  m.cols = ms.cols();
+  m.reserve(static_cast<std::size_t>(ms.entries()) *
+            (ms.symmetric() ? 2 : 1));
+  // Drain in bounded chunks: the Coo grows to nnz (the caller asked for
+  // the whole matrix) but the parser itself holds O(chunk).
+  std::vector<MmEntry> chunk;
+  while (ms.next_chunk(chunk, 4096))
+    for (const MmEntry& e : chunk) m.push(e.row, e.col, e.val);
   m.sort();
   m.sum_duplicates();
   return m;

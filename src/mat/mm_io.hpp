@@ -5,10 +5,62 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "mat/coo.hpp"
 
 namespace acsr::mat {
+
+/// One parsed coordinate entry (0-based indices; pattern files get 1.0).
+struct MmEntry {
+  index_t row = 0;
+  index_t col = 0;
+  double val = 1.0;
+};
+
+/// Streaming .mtx reader: parses the banner and dimensions line eagerly,
+/// then yields entries in caller-bounded chunks, so a consumer can ingest
+/// a file whose triplet set would not fit comfortably in host memory
+/// (docs/OOC.md) in O(chunk) space instead of O(nnz). Every diagnostic of
+/// the one-shot reader is preserved — 1-based line numbers, malformed
+/// index/value detection, NaN/Inf rejection (including overflowed
+/// literals), trailing-token rejection, range checks, truncation.
+/// read_matrix_market is this stream drained into a Coo.
+class MatrixMarketStream {
+ public:
+  /// Parses banner + dimensions; throws InputError with a line-numbered
+  /// message on any malformation. The stream must outlive this object.
+  explicit MatrixMarketStream(std::istream& in);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  /// Entry *lines* declared by the dimensions line (symmetric mirrors are
+  /// produced on top of these).
+  long long entries() const { return entries_; }
+  bool symmetric() const { return symmetric_; }
+  /// Entry lines consumed so far.
+  long long consumed() const { return consumed_; }
+
+  /// Parse up to `max_entries` further entry lines into `out` (replacing
+  /// its contents; a symmetric off-diagonal line contributes its mirror
+  /// too, so `out` may hold up to 2 * max_entries entries). Returns false
+  /// — with `out` empty — once every declared entry has been delivered.
+  /// Throws InputError on malformed or truncated input.
+  bool next_chunk(std::vector<MmEntry>& out, std::size_t max_entries);
+
+ private:
+  bool next_line();
+
+  std::istream& in_;
+  std::string line_;
+  long long lineno_ = 0;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  long long entries_ = 0;
+  long long consumed_ = 0;
+  bool symmetric_ = false;
+  bool pattern_ = false;
+};
 
 Coo<double> read_matrix_market(std::istream& in);
 Coo<double> read_matrix_market_file(const std::string& path);

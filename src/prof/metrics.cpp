@@ -168,6 +168,53 @@ std::vector<TenantMetricDef> build_tenant_registry() {
 
 #undef ACSR_TENANT_METRIC
 
+// One passthrough metric per IoAgg field (scripts/lint.sh rule 4 parses
+// the struct and greps this file, exactly as for Counters and TenantAgg).
+#define ACSR_IO_METRIC(field, unit, what)                            \
+  IoMetricDef {                                                      \
+    "io." #field, unit, "IoAgg::" #field " (" what ")",              \
+        [](const IoAgg& a) { return static_cast<double>(a.field); } \
+  }
+
+std::vector<IoMetricDef> build_io_registry() {
+  return {
+      ACSR_IO_METRIC(reads, "count", "chunk read requests completed"),
+      ACSR_IO_METRIC(read_bytes, "bytes", "bytes delivered from the drives"),
+      ACSR_IO_METRIC(demand_bytes, "bytes",
+                     "bytes the streaming executor asked for"),
+      ACSR_IO_METRIC(retries, "count",
+                     "re-issued reads (transient / timeout / checksum)"),
+      ACSR_IO_METRIC(checksum_failures, "count",
+                     "chunks that arrived with a checksum mismatch"),
+      ACSR_IO_METRIC(queue_peak, "count",
+                     "max in-flight requests observed on the tier"),
+      ACSR_IO_METRIC(read_s, "s", "drive service time, summed"),
+      ACSR_IO_METRIC(penalty_s, "s",
+                     "retry backoff + timeout hangs charged to the clock"),
+      ACSR_IO_METRIC(stall_s, "s", "compute idle waiting on a slab upload"),
+      ACSR_IO_METRIC(overlap_s, "s", "io time hidden behind compute"),
+      {"io.read_amplification", "ratio", "read_bytes / demand_bytes "
+       "(stripe rounding + re-reads over useful bytes)",
+       [](const IoAgg& a) {
+         return safe_div(static_cast<double>(a.read_bytes),
+                         static_cast<double>(a.demand_bytes));
+       }},
+      {"io.overlap_efficiency", "ratio",
+       "overlap_s / (read_s + penalty_s); the fraction of io time hidden "
+       "behind compute — > 0 proves slab upload ran concurrently",
+       [](const IoAgg& a) {
+         return safe_div(a.overlap_s, a.read_s + a.penalty_s);
+       }},
+      {"io.retry_rate", "ratio", "retries / reads",
+       [](const IoAgg& a) {
+         return safe_div(static_cast<double>(a.retries),
+                         static_cast<double>(a.reads));
+       }},
+  };
+}
+
+#undef ACSR_IO_METRIC
+
 }  // namespace
 
 const std::vector<MetricDef>& metric_registry() {
@@ -193,6 +240,17 @@ const std::vector<TenantMetricDef>& tenant_metric_registry() {
 
 const TenantMetricDef* find_tenant_metric(const std::string& name) {
   for (const TenantMetricDef& m : tenant_metric_registry())
+    if (name == m.name) return &m;
+  return nullptr;
+}
+
+const std::vector<IoMetricDef>& io_metric_registry() {
+  static const std::vector<IoMetricDef> r = build_io_registry();
+  return r;
+}
+
+const IoMetricDef* find_io_metric(const std::string& name) {
+  for (const IoMetricDef& m : io_metric_registry())
     if (name == m.name) return &m;
   return nullptr;
 }

@@ -151,4 +151,42 @@ const std::vector<TenantMetricDef>& tenant_metric_registry();
 /// nullptr when unknown.
 const TenantMetricDef* find_tenant_metric(const std::string& name);
 
+// --- out-of-core storage aggregates ----------------------------------------
+
+/// Storage-plane accounting kept by storage::StorageTier and folded in by
+/// core::OocCsrEngine: every drive read, retry, checksum failure and the
+/// overlap the streaming executor achieved. Same completeness contract as
+/// vgpu::Counters / TenantAgg: scripts/lint.sh rule 4 parses the fields of
+/// this struct and requires a passthrough metric per field in metrics.cpp,
+/// so a new storage counter cannot ship unobservable.
+struct IoAgg {
+  std::uint64_t reads = 0;             ///< chunk read requests completed
+  std::uint64_t read_bytes = 0;        ///< bytes delivered from the drives
+  std::uint64_t demand_bytes = 0;      ///< bytes the executor asked for
+  std::uint64_t retries = 0;           ///< re-issued reads (transient/timeout/checksum)
+  std::uint64_t checksum_failures = 0; ///< chunks that arrived corrupt
+  std::uint64_t queue_peak = 0;        ///< max in-flight requests observed
+  double read_s = 0.0;                 ///< drive service time, summed
+  double penalty_s = 0.0;              ///< retry backoff + timeout hangs charged
+  double stall_s = 0.0;                ///< compute idle waiting on a slab upload
+  double overlap_s = 0.0;              ///< io time hidden behind compute
+};
+
+/// A named, documented storage metric over one run's IoAgg (the io-plane
+/// mirror of TenantMetricDef; acsr_prof --ooc prints one row per entry).
+/// All io metrics are model quantities, hence deterministic.
+struct IoMetricDef {
+  const char* name;
+  const char* unit;
+  const char* formula;
+  double (*compute)(const IoAgg&);
+};
+
+/// Every registered io metric: field passthroughs plus the derived ratios
+/// (read_amplification, overlap_efficiency, retry_rate).
+const std::vector<IoMetricDef>& io_metric_registry();
+
+/// nullptr when unknown.
+const IoMetricDef* find_io_metric(const std::string& name);
+
 }  // namespace acsr::prof

@@ -1,0 +1,70 @@
+// Striped file mapper: RAID-0 layout of one logical byte range across N
+// drives (the RAID_config / file_mapper split of SAFS-style engines,
+// reduced to the piece the simulator needs). A logical extent is rounded
+// out to whole stripes — drives serve stripes, not bytes — which is where
+// the tier's read amplification (io.read_amplification) comes from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acsr::storage {
+
+/// The portion of one mapped read a single drive serves.
+struct Extent {
+  int drive = 0;
+  std::size_t stripes = 0;  ///< stripes this drive serves for the read
+  std::size_t bytes = 0;    ///< stripe-rounded bytes (stripes * stripe size)
+};
+
+class StripeMapper {
+ public:
+  StripeMapper(int num_drives, std::size_t stripe_bytes)
+      : num_drives_(num_drives), stripe_bytes_(stripe_bytes) {
+    ACSR_REQUIRE(num_drives >= 1,
+                 "storage tier needs >= 1 drive, got " << num_drives);
+    ACSR_REQUIRE(stripe_bytes > 0, "stripe size must be positive");
+  }
+
+  int num_drives() const { return num_drives_; }
+  std::size_t stripe_bytes() const { return stripe_bytes_; }
+
+  /// Drive of logical stripe `s` (round-robin, RAID-0).
+  int drive_of(std::size_t stripe) const {
+    return static_cast<int>(stripe % static_cast<std::size_t>(num_drives_));
+  }
+
+  /// Map the logical byte range [offset, offset + bytes) onto per-drive
+  /// extents, rounded out to stripe boundaries. One extent per involved
+  /// drive, in order of first touch (deterministic).
+  std::vector<Extent> map(std::size_t offset, std::size_t bytes) const {
+    ACSR_CHECK(bytes > 0);
+    const std::size_t s0 = offset / stripe_bytes_;
+    const std::size_t s1 = (offset + bytes - 1) / stripe_bytes_;
+    std::vector<Extent> out;
+    for (std::size_t s = s0; s <= s1; ++s) {
+      const int d = drive_of(s);
+      Extent* e = nullptr;
+      for (Extent& cand : out)
+        if (cand.drive == d) {
+          e = &cand;
+          break;
+        }
+      if (e == nullptr) {
+        out.push_back(Extent{d, 0, 0});
+        e = &out.back();
+      }
+      e->stripes += 1;
+      e->bytes += stripe_bytes_;
+    }
+    return out;
+  }
+
+ private:
+  int num_drives_;
+  std::size_t stripe_bytes_;
+};
+
+}  // namespace acsr::storage

@@ -43,6 +43,13 @@ class Device {
   /// with the 1/N corpus scaling so the paper's OOM entries reproduce).
   void set_memory_capacity(std::size_t bytes) { arena_.set_capacity(bytes); }
 
+  /// Bytes still allocatable before the arena overflows. The out-of-core
+  /// tier's tests and tools use this to assert a streamed solve's device
+  /// working set really stays inside its slab budget.
+  std::size_t memory_headroom() const {
+    return arena_.capacity() - arena_.allocated();
+  }
+
   template <class T>
   DeviceBuffer<T> alloc(std::size_t n, std::string name) {
     if (fault_injection_enabled() && lost_) [[unlikely]]

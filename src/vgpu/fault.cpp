@@ -42,6 +42,10 @@ KindSite parse_kind(const std::string& kind, const std::string& site,
       {"lost", "launch", {FaultKind::kDeviceLost, FaultSite::kLaunch}},
       {"lost", "transfer", {FaultKind::kDeviceLost, FaultSite::kTransfer}},
       {"lost", "alloc", {FaultKind::kDeviceLost, FaultSite::kAlloc}},
+      {"io_transient", "read", {FaultKind::kIoTransient, FaultSite::kRead}},
+      {"io_timeout", "read", {FaultKind::kIoTimeout, FaultSite::kRead}},
+      {"io_checksum", "read", {FaultKind::kIoChecksum, FaultSite::kRead}},
+      {"io_degrade", "read", {FaultKind::kIoDegrade, FaultSite::kRead}},
   };
   for (const Entry& e : kTable)
     if (kind == e.kind && site == e.site) return e.value;
@@ -65,6 +69,21 @@ long long parse_ll(const std::string& text, const std::string& clause,
   return v;
 }
 
+double parse_f(const std::string& text, const std::string& clause,
+               const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  ACSR_REQUIRE(used == text.size() && !text.empty() && v > 0.0,
+               "ACSR_FAULTS: bad " << what << " '" << text << "' in clause '"
+                                   << clause << "' (want a positive number)");
+  return v;
+}
+
 }  // namespace
 
 const char* to_string(FaultKind k) {
@@ -75,6 +94,10 @@ const char* to_string(FaultKind k) {
     case FaultKind::kTransferCorrupt: return "corrupt";
     case FaultKind::kTransferStall: return "stall";
     case FaultKind::kDeviceLost: return "lost";
+    case FaultKind::kIoTransient: return "io_transient";
+    case FaultKind::kIoTimeout: return "io_timeout";
+    case FaultKind::kIoChecksum: return "io_checksum";
+    case FaultKind::kIoDegrade: return "io_degrade";
   }
   return "unknown";
 }
@@ -135,6 +158,8 @@ void FaultInjector::configure(const std::string& plan) {
             static_cast<std::uint64_t>(parse_ll(val, clause, "seed"));
       } else if (key == "ms") {
         c.stall_s = static_cast<double>(parse_ll(val, clause, "ms")) * 1e-3;
+      } else if (key == "x") {
+        c.factor = parse_f(val, clause, "x");
       } else if (key == "silent") {
         c.silent = val != "0";
       } else {
@@ -148,7 +173,7 @@ void FaultInjector::configure(const std::string& plan) {
 
   plan_ = std::move(parsed);
   events_.clear();
-  alloc_ops_ = launch_ops_ = transfer_ops_ = 0;
+  alloc_ops_ = launch_ops_ = transfer_ops_ = read_ops_ = 0;
   enabled_ = !plan_.empty();
   detail::g_fault_injection_enabled = enabled_;
 }
@@ -156,7 +181,7 @@ void FaultInjector::configure(const std::string& plan) {
 void FaultInjector::disable() {
   plan_.clear();
   events_.clear();
-  alloc_ops_ = launch_ops_ = transfer_ops_ = 0;
+  alloc_ops_ = launch_ops_ = transfer_ops_ = read_ops_ = 0;
   enabled_ = false;
   detail::g_fault_injection_enabled = false;
 }
@@ -312,6 +337,43 @@ TransferFault FaultInjector::on_transfer(const std::string& device,
   where << bytes << " B transfer";
   record(kind, transfer_ops_, device, "transfer", where.str(), buffer,
          out.detail);
+  return out;
+}
+
+ReadFault FaultInjector::on_read(const std::string& drive,
+                                 const std::string& what, std::size_t bytes) {
+  ReadFault out;
+  FaultKind kind{};
+  const FaultClause* c = match(read_ops_, FaultSite::kRead, &kind);
+  if (c == nullptr) return out;
+
+  std::ostringstream os;
+  os << "injected " << to_string(kind) << " on read #" << read_ops_ << " ('"
+     << what << "', " << bytes << " B) from drive '" << drive << "'";
+  switch (kind) {
+    case FaultKind::kIoTransient:
+      out.action = ReadFault::Action::kTransient;
+      break;
+    case FaultKind::kIoTimeout:
+      out.action = ReadFault::Action::kTimeout;
+      out.timeout_s = c->stall_s;
+      os << ": hang " << c->stall_s * 1e3 << " ms";
+      break;
+    case FaultKind::kIoChecksum:
+      // The flip itself happens in the delivered chunk bytes at the tier
+      // (the injector has no view of them); hand back the seed material.
+      out.corrupt = true;
+      out.seed = c->seed ^ mix64(static_cast<std::uint64_t>(read_ops_));
+      break;
+    case FaultKind::kIoDegrade:
+      out.slow = c->factor;
+      os << ": service time x" << c->factor;
+      break;
+    default:
+      break;
+  }
+  out.detail = os.str();
+  record(kind, read_ops_, drive, "read", what, "", out.detail);
   return out;
 }
 

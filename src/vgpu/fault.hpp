@@ -22,6 +22,19 @@
 //   lost       whole-device loss: the device is marked lost and every
 //              subsequent launch/alloc/transfer throws DeviceLost
 //
+// The storage plane (src/storage/, docs/OOC.md) adds a `read` site for
+// the out-of-core tier's drive reads:
+//
+//   io_transient  the read fails with IoTransientError (a re-issue may
+//                 succeed; the tier retries with backoff on the clock)
+//   io_timeout    the request hangs for `ms` (default 50) simulated
+//                 milliseconds, then fails with IoTimeout
+//   io_checksum   a deterministic bit flip in the *delivered* chunk
+//                 bytes; the tier's arrival checksum detects it and
+//                 re-reads (ChunkChecksumMismatch once retries run out)
+//   io_degrade    a degraded-bandwidth drive: the read's service time is
+//                 multiplied by `x` (default 4); timing-only
+//
 // Activation mirrors ACSR_SANITIZE: set ACSR_FAULTS to a plan string in
 // the environment, or call FaultInjector::instance().configure(plan)
 // programmatically (before building the engines whose buffers should be
@@ -34,12 +47,14 @@
 //   plan   := clause (';' clause)*
 //   clause := kind '@' site '#' N ['*' K] (':' key '=' value)*
 //   kind   := oom | transient | ecc | corrupt | stall | lost
-//   site   := alloc | launch | transfer
+//           | io_transient | io_timeout | io_checksum | io_degrade
+//   site   := alloc | launch | transfer | read
 //
 // `#N` fires on the N-th matching operation (1-based, counted per site
 // since configure()); `*K` keeps firing for K consecutive matching ops.
-// Options: `seed=U` (flip-target choice), `ms=D` (stall duration in
-// milliseconds), `silent=1` (flip without a detection signal). Example:
+// Options: `seed=U` (flip-target choice), `ms=D` (stall / timeout
+// duration in milliseconds), `x=F` (io_degrade service-time factor),
+// `silent=1` (flip without a detection signal). Example:
 //
 //   ACSR_FAULTS="transient@launch#3*2;ecc@launch#9:seed=7;lost@launch#40"
 //
@@ -99,6 +114,37 @@ class DataCorruption : public DeviceFault {
   using DeviceFault::DeviceFault;
 };
 
+/// Base of the storage-plane fault taxonomy (src/storage/, docs/OOC.md).
+/// device() names the drive (or tier) the fault struck, where() the chunk
+/// or request. Derives from DeviceFault so the checkpointed solvers'
+/// restart net covers escaped storage faults with no extra catch sites.
+class IoError : public DeviceFault {
+ public:
+  using DeviceFault::DeviceFault;
+};
+
+/// One read request failed; re-issuing it may succeed. The storage tier
+/// retries with backoff charged to the simulated clock before letting
+/// this escape.
+class IoTransientError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// A read request exceeded its deadline. The hang itself is charged to
+/// the clock; retryable like IoTransientError.
+class IoTimeout : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// A chunk arrived with a checksum mismatch and the per-chunk re-read
+/// budget is exhausted (every retry re-delivered corrupt bytes).
+class ChunkChecksumMismatch : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 enum class FaultKind {
   kAllocOom,
   kLaunchTransient,
@@ -106,11 +152,15 @@ enum class FaultKind {
   kTransferCorrupt,
   kTransferStall,
   kDeviceLost,
+  kIoTransient,
+  kIoTimeout,
+  kIoChecksum,
+  kIoDegrade,
 };
 
 const char* to_string(FaultKind k);
 
-enum class FaultSite { kAlloc, kLaunch, kTransfer };
+enum class FaultSite { kAlloc, kLaunch, kTransfer, kRead };
 
 /// One parsed plan clause: fire `kind` at `site` on matching ops
 /// [at, at + count). The site matters for kinds injectable at more than
@@ -121,7 +171,8 @@ struct FaultClause {
   long long at = 1;           // 1-based op index at the clause's site
   long long count = 1;        // consecutive matching ops to fire on
   std::uint64_t seed = 2014;  // flip-target choice (ecc / corrupt)
-  double stall_s = 0.05;      // transfer stall duration
+  double stall_s = 0.05;      // transfer stall / io_timeout duration
+  double factor = 4.0;        // io_degrade service-time multiplier
   bool silent = false;        // flip without a detection signal
 };
 
@@ -130,7 +181,7 @@ struct FaultEvent {
   FaultKind kind{};
   long long op_index = 0;   // per-site op count at which the clause fired
   std::string device;       // DeviceSpec::name ("?" for bare-arena allocs)
-  std::string site;         // "alloc" / "launch" / "transfer"
+  std::string site;         // "alloc" / "launch" / "transfer" / "read"
   std::string where;        // kernel name, buffer name, or transfer size
   std::string buffer;       // flip target ("" when not a flip)
   std::string detail;       // human-readable description
@@ -150,6 +201,16 @@ struct TransferFault {
   bool corrupt = false;  // a detected flip happened: throw DataCorruption
   bool lost = false;     // device loss observed on the transfer path
   std::string buffer;
+  std::string detail;
+};
+
+/// What StorageTier::read_chunk must do after consulting the injector.
+struct ReadFault {
+  enum class Action { kNone, kTransient, kTimeout } action = Action::kNone;
+  bool corrupt = false;   // flip one bit in the delivered chunk bytes
+  std::uint64_t seed = 0; // flip-bit choice for the corrupt case
+  double slow = 1.0;      // service-time multiplier (io_degrade)
+  double timeout_s = 0.0; // hang charged to the clock before IoTimeout
   std::string detail;
 };
 
@@ -187,6 +248,10 @@ class FaultInjector {
   /// Consult the plan for one PCIe transfer of `bytes`.
   TransferFault on_transfer(const std::string& device, std::size_t bytes,
                             const void* arena_tag);
+  /// Consult the plan for one storage-tier read of `bytes` from `drive`.
+  /// `what` names the chunk / request for attribution.
+  ReadFault on_read(const std::string& drive, const std::string& what,
+                    std::size_t bytes);
 
   // --- flip-target registry ------------------------------------------------
   /// Register a live device allocation's backing bytes as an ECC/corrupt
@@ -200,6 +265,7 @@ class FaultInjector {
   long long alloc_ops() const { return alloc_ops_; }
   long long launch_ops() const { return launch_ops_; }
   long long transfer_ops() const { return transfer_ops_; }
+  long long read_ops() const { return read_ops_; }
 
  private:
   FaultInjector();
@@ -230,6 +296,7 @@ class FaultInjector {
   long long alloc_ops_ = 0;
   long long launch_ops_ = 0;
   long long transfer_ops_ = 0;
+  long long read_ops_ = 0;
 };
 
 /// Fast-path guard, mirroring sanitizer_enabled(): one global load, no

@@ -34,6 +34,14 @@
 // applies bit-for-bit, simulate_batch within the oracle tolerance per
 // column, width 0 a free no-op — all under the sanitizer.
 // ACSR_SPMM_FUZZ overrides the case count (default 60).
+//
+// A fifth mode fuzzes the *out-of-core storage plane* (docs/OOC.md):
+// random ACSR_FAULTS `read` plans against budget-constrained streamed
+// solves must recover to within 1e-9 of an in-core run or escape as a
+// typed IoError; fault-free streamed solve sequences must be bit-equal
+// with the memo plane off and on; and a natural-OOM fallback onto the
+// ooc-csr rung must invalidate the displaced format's memo entries.
+// ACSR_OOC_FUZZ overrides the case count (default 40).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -757,6 +765,175 @@ TEST(DifferentialFuzz, MemoizedUpdateSolveInterleavingsMatchExactly) {
           << "y diverges at solve " << k;
     if (::testing::Test::HasFailure()) break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core storage-plane fuzz.
+
+// Random storage-fault plans against budget-constrained streamed solves.
+// Three sub-oracles per case:
+//
+//   1. faulted: an OocCsrEngine under a random `read`-site plan either
+//      recovers to within 1e-9 of an in-core csr-vector run (the tier's
+//      retry/checksum machinery absorbed the faults) or escapes as a
+//      typed IoError with drive attribution — never a crash, never a
+//      silent wrong vector;
+//   2. memoized: a fault-free 3-iteration streamed solve sequence is
+//      bit-identical (results and durations) with ACSR_MEMO off and on;
+//   3. transition: on a device too small for any in-core format, a
+//      memoized ResilientEngine must land on ooc-csr and still match the
+//      memo-off run bitwise — the fallback rebuild invalidates the
+//      displaced format's memo entries instead of replaying them.
+TEST(DifferentialFuzz, OutOfCoreStorageFaultsMatchInCore) {
+  const std::uint64_t seed = env_u64("ACSR_FUZZ_SEED", 2014);
+  const std::size_t n_cases =
+      static_cast<std::size_t>(env_u64("ACSR_OOC_FUZZ", 40));
+  using acsr::core::OocCsrEngine;
+  using acsr::core::OocOptions;
+  using acsr::core::ResilientEngine;
+  using acsr::vgpu::FaultInjector;
+
+  static const char* const kIoClauses[] = {
+      "io_transient@read", "io_timeout@read", "io_checksum@read",
+      "io_degrade@read"};
+
+  const Rng root(seed ^ 0x00c517);
+  std::size_t recovered = 0;
+  std::size_t typed_escapes = 0;
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    Rng rng = root.split(i + 1);
+    acsr::graph::PowerLawSpec s;
+    s.rows = 16 + static_cast<index_t>(rng.next_below(200));
+    s.cols = s.rows;
+    s.mean_nnz_per_row = rng.next_double(1.0, 8.0);
+    s.alpha = 1.6;
+    s.max_row_nnz = std::max<offset_t>(1, s.rows / 2);
+    s.seed = rng.next_u64();
+    Csr<double> a = acsr::graph::powerlaw_matrix(s);
+    for (auto& v : a.vals) v = rng.next_double(0.5, 1.5);
+    std::vector<double> x(static_cast<std::size_t>(a.cols));
+    for (auto& v : x) v = rng.next_double(0.5, 1.5);
+
+    std::string plan;
+    const int n_clauses = 1 + static_cast<int>(rng.next_below(2));
+    for (int c = 0; c < n_clauses; ++c) {
+      if (c > 0) plan += ';';
+      const std::size_t k = rng.next_below(std::size(kIoClauses));
+      plan += kIoClauses[k];
+      plan += '#' + std::to_string(1 + rng.next_below(6));
+      if (rng.next_bool(0.4))
+        plan += '*' + std::to_string(1 + rng.next_below(8));
+      if (k == 1) plan += ":ms=" + std::to_string(1 + rng.next_below(30));
+      if (k == 2)
+        plan += ":seed=" + std::to_string(1 + rng.next_below(1000));
+      if (k == 3) plan += ":x=" + std::to_string(2 + rng.next_below(7));
+    }
+    OocOptions opt;
+    opt.budget_bytes = std::size_t{4096} << rng.next_below(4);
+    SCOPED_TRACE("case #" + std::to_string(i) + " plan '" + plan +
+                 "' budget " + std::to_string(opt.budget_bytes) + " seed " +
+                 std::to_string(seed));
+
+    // In-core oracle, injection off.
+    std::vector<double> want;
+    {
+      Device clean(DeviceSpec::gtx_titan());
+      const auto oracle = make_engine<double>("csr-vector", clean, a);
+      oracle->simulate(x, want);
+    }
+
+    // 1. Faulted streamed solve: 1e-9 against in-core, or typed IoError.
+    FaultInjector::instance().configure(plan);
+    {
+      Device dev(DeviceSpec::gtx_titan());
+      OocCsrEngine<double> engine(dev, a, opt);
+      std::vector<double> y;
+      try {
+        engine.simulate(x, y);
+        ASSERT_EQ(y.size(), want.size());
+        for (std::size_t r = 0; r < want.size(); ++r)
+          EXPECT_NEAR(y[r], want[r], 1e-9) << "row " << r;
+        ++recovered;
+      } catch (const acsr::vgpu::IoError& e) {
+        EXPECT_FALSE(e.device().empty());
+        ++typed_escapes;
+      }
+    }
+    FaultInjector::instance().disable();
+
+    // 2. Memo differential on the clean streamed path: 3 iterations,
+    // replay from iteration 2 on, observationally indistinguishable.
+    auto streamed_trace = [&](bool memo) {
+      acsr::vgpu::memo::set_memo_enabled(memo);
+      Device dev(DeviceSpec::gtx_titan());
+      EngineConfig cfg;
+      cfg.ooc.budget_bytes = opt.budget_bytes;
+      const auto engine = make_engine<double>("ooc-csr", dev, a, cfg);
+      std::vector<double> ts;
+      std::vector<std::vector<double>> ys;
+      for (int it = 0; it < 3; ++it) {
+        std::vector<double> y;
+        ts.push_back(engine->simulate(x, y));
+        ys.push_back(std::move(y));
+      }
+      acsr::vgpu::memo::set_memo_enabled(false);
+      acsr::vgpu::memo::MemoCache::instance().clear();
+      return std::make_pair(std::move(ts), std::move(ys));
+    };
+    const auto off = streamed_trace(false);
+    const auto on = streamed_trace(true);
+    EXPECT_EQ(off.first, on.first) << "streamed durations diverge under memo";
+    EXPECT_EQ(off.second, on.second) << "streamed results diverge under memo";
+
+    // 3. Occasionally: natural-OOM fallback with the memo plane on. The
+    // csr-vector rung is built (and possibly captured) first; its OOM
+    // rebuild must invalidate those entries, not replay them as ooc-csr.
+    // Needs a matrix whose half-footprint arena still holds the streamed
+    // working set (two floor-sized slabs + staged x), so it gets its own
+    // denser draw instead of reusing `a`.
+    if (rng.next_bool(0.25)) {
+      acsr::graph::PowerLawSpec fs;
+      fs.rows = 384 + static_cast<index_t>(rng.next_below(256));
+      fs.cols = fs.rows;
+      fs.mean_nnz_per_row = 8.0;
+      fs.alpha = 1.6;
+      fs.max_row_nnz = fs.rows / 2;
+      fs.seed = rng.next_u64();
+      Csr<double> fa = acsr::graph::powerlaw_matrix(fs);
+      for (auto& v : fa.vals) v = rng.next_double(0.5, 1.5);
+      std::vector<double> fx(static_cast<std::size_t>(fa.cols));
+      for (auto& v : fx) v = rng.next_double(0.5, 1.5);
+      const std::size_t cap =
+          (static_cast<std::size_t>(fa.rows) + 1) * sizeof(offset_t) +
+          static_cast<std::size_t>(fa.nnz()) *
+              (sizeof(index_t) + sizeof(double));
+      auto fallback_trace = [&](bool memo) {
+        acsr::vgpu::memo::set_memo_enabled(memo);
+        Device dev(DeviceSpec::gtx_titan());
+        dev.set_memory_capacity(cap / 2);
+        ResilientEngine<double> engine({&dev}, fa, "csr-vector");
+        EXPECT_EQ(engine.active_format(), "ooc-csr");
+        std::vector<std::vector<double>> ys;
+        for (int it = 0; it < 2; ++it) {
+          std::vector<double> y;
+          engine.simulate(fx, y);
+          ys.push_back(std::move(y));
+        }
+        acsr::vgpu::memo::set_memo_enabled(false);
+        acsr::vgpu::memo::MemoCache::instance().clear();
+        return ys;
+      };
+      EXPECT_EQ(fallback_trace(false), fallback_trace(true))
+          << "fallback results diverge under memo";
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  FaultInjector::instance().disable();
+
+  EXPECT_GT(recovered, 0u);  // the plans must not all be fatal
+  std::cout << "[ooc-fuzz] " << n_cases << " plans, " << recovered
+            << " recovered within 1e-9, " << typed_escapes
+            << " typed escapes (seed " << seed << ")\n";
 }
 
 }  // namespace

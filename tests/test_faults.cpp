@@ -380,10 +380,18 @@ TEST_F(Faults, ResilientFallsBackOnGenuineFormatRefusal) {
 
 TEST_F(Faults, ResilientExhaustedChainPropagatesOom) {
   const Csr<double> a = test_matrix();
-  // Every alloc fails: nothing in the chain can build.
+  // Every alloc fails. Construction still settles on the terminal rung —
+  // the out-of-core tier allocates nothing at build time — but the first
+  // SpMV must allocate slab buffers, and with the whole chain spent the
+  // OOM escapes typed instead of being swallowed.
   FaultInjector::instance().configure("oom@alloc#1*1000000");
   Device dev(DeviceSpec::gtx_titan());
-  EXPECT_THROW(ResilientEngine<double>({&dev}, a, "acsr"), DeviceOom);
+  ResilientEngine<double> engine({&dev}, a, "acsr");
+  EXPECT_EQ(engine.active_format(), "ooc-csr");
+  EXPECT_GE(engine.fallbacks(), 3);
+  const auto x = ones(static_cast<std::size_t>(a.cols));
+  std::vector<double> y;
+  EXPECT_THROW(engine.simulate(x, y), DeviceOom);
 }
 
 TEST_F(Faults, ResilientFailsOverToStandbyDevice) {

@@ -64,7 +64,8 @@ TEST(StaticVerify, EngineRegistryIsPinned) {
   const std::vector<std::string> expected = {
       "csr-scalar", "csr-vector", "csr",  "ell",       "coo",
       "hyb",        "brc",        "bccoo", "tcoo",      "sic",
-      "merge-csr",  "sell",       "bcsr",  "acsr",      "acsr-binning"};
+      "merge-csr",  "sell",       "bcsr",  "acsr",      "acsr-binning",
+      "ooc-csr"};
   EXPECT_EQ(all_engine_names(), expected);
   EXPECT_FALSE(acsr::analysis::knows_engine("no-such-engine"));
 }

@@ -8,11 +8,15 @@
 //
 //   acsr_prof [--matrix WIK] [--engine acsr ...] [--out metrics.json]
 //             [--trace trace.json] [--diff baseline.json]
-//             [--threshold 0.1] [--quiet] [--tenants]
+//             [--threshold 0.1] [--quiet] [--tenants] [--ooc]
 //
 // --tenants runs the deterministic three-tenant serving scenario
 // (apps/rwr_batch.hpp) through the batch scheduler on the first selected
 // engine and prints the per-tenant billing table (docs/SERVING.md).
+//
+// --ooc runs one streamed SpMV through the out-of-core tier (ooc-csr)
+// and prints the storage-plane io.* metric table — read amplification,
+// queue depth, overlap efficiency, stall/penalty time (docs/OOC.md).
 //
 // The tool force-enables the profiler; ACSR_PROF need not be set.
 // docs/OBSERVABILITY.md documents the metric formulas and both schemas.
@@ -28,6 +32,7 @@
 #include "apps/rwr_batch.hpp"
 #include "common/check.hpp"
 #include "core/factory.hpp"
+#include "core/ooc_engine.hpp"
 #include "graph/corpus.hpp"
 #include "prof/capture.hpp"
 #include "prof/metrics.hpp"
@@ -49,13 +54,14 @@ struct Options {
   double threshold = 0.10;
   bool quiet = false;
   bool tenants = false;
+  bool ooc = false;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--matrix ABBREV] [--engine NAME ...] [--out FILE]\n"
                "       [--trace FILE] [--diff BASELINE] [--threshold REL]"
-               " [--quiet] [--tenants]\n";
+               " [--quiet] [--tenants] [--ooc]\n";
   return 2;
 }
 
@@ -84,6 +90,28 @@ void render_tenants(const std::string& engine_name,
       std::printf("  %24.6g", m.compute(agg));
     std::printf("\n");
   }
+}
+
+/// The --ooc table: one streamed SpMV through the out-of-core tier, one
+/// row per registered io.* metric. The engine is built directly (not via
+/// the factory) so the io accounting is reachable without a downcast
+/// through the memo/verify wrappers.
+void render_ooc(const acsr::vgpu::DeviceSpec& spec,
+                const acsr::mat::Csr<double>& a,
+                const acsr::core::EngineConfig& cfg) {
+  acsr::vgpu::Device dev(spec);
+  acsr::core::OocCsrEngine<double> engine(dev, a, cfg.ooc);
+  const std::vector<double> x(static_cast<std::size_t>(a.cols), 1.0);
+  std::vector<double> y;
+  engine.simulate(x, y);
+  const acsr::prof::IoAgg& io = engine.io_stats();
+  std::cout << "\n==== out-of-core storage plane (ooc-csr, "
+            << engine.num_slabs() << " slabs, budget "
+            << engine.budget_bytes() << " B, makespan "
+            << engine.last_makespan() * 1e3 << " ms) ====\n";
+  for (const auto& m : acsr::prof::io_metric_registry())
+    std::printf("  %-26s %14.6g  %-8s %s\n", m.name, m.compute(io), m.unit,
+                m.formula);
 }
 
 bool load_json(const std::string& path, Value* out) {
@@ -149,6 +177,8 @@ int main(int argc, char** argv) {
       opt.quiet = true;
     } else if (arg == "--tenants") {
       opt.tenants = true;
+    } else if (arg == "--ooc") {
+      opt.ooc = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -201,6 +231,7 @@ int main(int argc, char** argv) {
   if (opt.tenants)
     render_tenants(opt.engines.empty() ? "acsr" : opt.engines.front(), spec,
                    a, cfg);
+  if (opt.ooc) render_ooc(spec, a, cfg);
 
   if (!opt.out_path.empty() &&
       !write_text(opt.out_path, acsr::json::dump(doc, 1)))
