@@ -32,8 +32,37 @@ echo "== build"
 cmake --build "$build"
 
 echo "== analysis (scripts/lint.sh + acsr_verify --all)"
-scripts/lint.sh
+scripts/lint.sh "$build"
 "$build/tools/acsr_verify" --all
+
+# The audit tier (docs/ANALYSIS.md): charge parity + causality over the
+# full engine x device matrix, cross-plane joins, fault-taxonomy
+# exhaustiveness, gate discipline, and both seeded defect corpora. The
+# JSON report is the machine interface; findings are fatal under
+# ACSR_CI=1 and a loud warning otherwise (mirroring the clang-tidy gate).
+echo "== audit (acsr_audit --all --report=json)"
+audit_json="$(mktemp --suffix=.json)"
+audit_rc=0
+"$build/tools/acsr_audit" --all --root=. --report=json >"$audit_json" \
+  || audit_rc=$?
+python3 - "$audit_json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+s = doc["summary"]
+print(f"   {s['engine_cells']} engine cells, {s['planes']} planes,"
+      f" {s['taxonomy_types']} fault types, {s['gate_sites']} gate sites,"
+      f" {s['defects_flagged']}/{s['defects_expected']} defects flagged")
+for f in doc["findings"]:
+    print(f"   [{f['kind']}] {f['plane']}: {f['subject']} — {f['detail']}")
+PY
+rm -f "$audit_json"
+if [ "$audit_rc" -ne 0 ]; then
+  if [ "${ACSR_CI:-0}" = "1" ]; then
+    echo "check.sh: acsr_audit found problems (fatal under ACSR_CI=1)"
+    exit "$audit_rc"
+  fi
+  echo "check.sh: WARNING: acsr_audit found problems (fatal under ACSR_CI=1)"
+fi
 
 echo "== clang-tidy (non-fatal unless ACSR_CI=1)"
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -51,6 +80,21 @@ echo "== tier-1 tests (ctest -L tier1)"
 tier1_start=$SECONDS
 ctest --test-dir "$build" -L tier1 --output-on-failure
 echo "check.sh: tier-1 suite took $((SECONDS - tier1_start))s"
+
+# Sanitizer preset (docs/TESTING.md): under ACSR_CI=1, rebuild with
+# -fsanitize=address,undefined (the ACSR_ASAN CMake option) in a separate
+# tree and run the tier-1 label under it. The simulator is pure host C++,
+# so ASan/UBSan see every buffer the virtual GPU touches.
+if [ "${ACSR_CI:-0}" = "1" ]; then
+  echo "== sanitizer tier-1 (ASan+UBSan, ${build}-asan)"
+  if [ -f "$build-asan/CMakeCache.txt" ]; then
+    cmake -B "$build-asan" -DACSR_ASAN=ON "${werror[@]}"
+  else
+    cmake -B "$build-asan" -G Ninja -DACSR_ASAN=ON "${werror[@]}"
+  fi
+  cmake --build "$build-asan"
+  ctest --test-dir "$build-asan" -L tier1 --output-on-failure
+fi
 
 # The memo plane (docs/PERF.md) must hold the metering contract whether the
 # process starts with the cache enabled or disabled: the invariance matrix

@@ -1,120 +1,23 @@
 #!/usr/bin/env bash
-# Repo lint gate (run by scripts/check.sh as part of the analysis stage).
-# Four rules the static verifier's and profiler's soundness stories lean on:
+# Repo lint gate — a thin wrapper over `acsr_audit --lint`.
 #
-#   1. Every header under src/ carries #pragma once.
-#   2. No raw .data() escapes outside the three files allowed to flatten
-#      to a pointer (src/vgpu/memory.hpp defines spans; warp.hpp's metered
-#      fast paths and storage/tier.hpp's byte-plane make_segment are the
-#      audited exceptions). Everything else must go through the
-#      bounds-checked span interface the verifier models.
-#   3. Counters parity: every field of vgpu::Counters is both merged in
-#      counters.hpp (declaration + operator+=) and actually metered
-#      somewhere in the engine (warp.hpp / device.cpp / kernel.cpp), so
-#      the executor fast path and the reference path cannot silently
-#      diverge on a field.
-#   4. Observability parity: every Counters field has a registered
-#      passthrough metric ("counters.<field>") in src/prof/metrics.cpp, so
-#      a new counter cannot ship invisible to acsr_prof / --diff. The same
-#      parity covers the serving plane: every prof::TenantAgg billing field
-#      must have a "tenant.<field>" passthrough, so a new billing column
-#      cannot ship invisible to acsr_prof --tenants. And the storage
-#      plane: every prof::IoAgg field must have an "io.<field>"
-#      passthrough, so a new out-of-core counter cannot ship invisible
-#      to acsr_prof --ooc.
-set -u
+# The four rules (pragma-once, .data() confinement, Counters metering
+# parity, metrics passthrough parity) used to live here as grep/sed; they
+# are now implemented token-level in src/analysis/audit_passes.cpp (no
+# comment/string false positives) and shipped inside the acsr_audit
+# binary. This wrapper only locates the binary so `scripts/lint.sh`
+# keeps working as a standalone entry point.
+#
+# Usage: scripts/lint.sh [build_dir]   (default: build)
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fail=0
+build="${1:-build}"
+audit="$build/tools/acsr_audit"
 
-# --- rule 1: #pragma once in every header -----------------------------------
-while IFS= read -r h; do
-  if ! grep -q '^#pragma once' "$h"; then
-    echo "lint: missing '#pragma once': $h"
-    fail=1
-  fi
-done < <(find src -name '*.hpp')
-
-# --- rule 2: .data() only in the span layer ----------------------------------
-while IFS= read -r line; do
-  f=${line%%:*}
-  case "$f" in
-    src/vgpu/memory.hpp|src/vgpu/warp.hpp|src/storage/tier.hpp) ;;
-    *)
-      echo "lint: raw .data() outside the span layer: $line"
-      fail=1
-      ;;
-  esac
-done < <(grep -rn '\.data()' src --include='*.hpp' --include='*.cpp')
-
-# --- rule 3: Counters parity --------------------------------------------------
-fields=$(sed -n 's/^ *std::uint64_t \([a-z_][a-z_0-9]*\) = 0;.*/\1/p' \
-  src/vgpu/counters.hpp)
-if [ -z "$fields" ]; then
-  echo "lint: could not parse any Counters fields from src/vgpu/counters.hpp"
-  fail=1
+if [ ! -x "$audit" ]; then
+  echo "lint: $audit not built — run: cmake --build $build --target acsr_audit" >&2
+  exit 2
 fi
-for f in $fields; do
-  in_hpp=$(grep -c "\b$f\b" src/vgpu/counters.hpp)
-  if [ "$in_hpp" -lt 2 ]; then
-    echo "lint: Counters::$f declared but not merged in counters.hpp" \
-         "(operator+= missing it?)"
-    fail=1
-  fi
-  metered=$(cat src/vgpu/warp.hpp src/vgpu/device.cpp src/vgpu/kernel.cpp |
-    grep -c "\b$f\b")
-  if [ "$metered" -lt 1 ]; then
-    echo "lint: Counters::$f is never metered" \
-         "(warp.hpp / device.cpp / kernel.cpp)"
-    fail=1
-  fi
-done
 
-# --- rule 4: every Counters field has a registered metric ---------------------
-# Passthroughs are registered either via the ACSR_COUNTER_METRIC(field, ...)
-# macro or a literal "counters.<field>" name.
-for f in $fields; do
-  if ! grep -Eq "ACSR_COUNTER_METRIC\($f[,)]|counters\.$f\b" \
-       src/prof/metrics.cpp; then
-    echo "lint: Counters::$f has no 'counters.$f' passthrough metric" \
-         "registered in src/prof/metrics.cpp"
-    fail=1
-  fi
-done
-
-# The serving mirror: TenantAgg fields (uint64 and double) -> "tenant.<f>".
-tenant_fields=$(sed -n '/^struct TenantAgg {$/,/^};$/p' src/prof/metrics.hpp |
-  sed -n 's/^ *\(std::uint64_t\|double\) \([a-z_][a-z_0-9]*\) = .*/\2/p')
-if [ -z "$tenant_fields" ]; then
-  echo "lint: could not parse any TenantAgg fields from src/prof/metrics.hpp"
-  fail=1
-fi
-for f in $tenant_fields; do
-  if ! grep -Eq "ACSR_TENANT_METRIC\($f[,)]|\"tenant\.$f\"" \
-       src/prof/metrics.cpp; then
-    echo "lint: TenantAgg::$f has no 'tenant.$f' passthrough metric" \
-         "registered in src/prof/metrics.cpp"
-    fail=1
-  fi
-done
-
-# The storage mirror: IoAgg fields (uint64 and double) -> "io.<f>".
-io_fields=$(sed -n '/^struct IoAgg {$/,/^};$/p' src/prof/metrics.hpp |
-  sed -n 's/^ *\(std::uint64_t\|double\) \([a-z_][a-z_0-9]*\) = .*/\2/p')
-if [ -z "$io_fields" ]; then
-  echo "lint: could not parse any IoAgg fields from src/prof/metrics.hpp"
-  fail=1
-fi
-for f in $io_fields; do
-  if ! grep -Eq "ACSR_IO_METRIC\($f[,)]|\"io\.$f\"" \
-       src/prof/metrics.cpp; then
-    echo "lint: IoAgg::$f has no 'io.$f' passthrough metric" \
-         "registered in src/prof/metrics.cpp"
-    fail=1
-  fi
-done
-
-if [ "$fail" -eq 0 ]; then
-  echo "lint: all checks passed"
-fi
-exit "$fail"
+exec "$audit" --lint --root=.

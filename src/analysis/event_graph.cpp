@@ -1,0 +1,184 @@
+#include "analysis/event_graph.hpp"
+
+#include <sstream>
+
+namespace acsr::analysis {
+
+const char* audit_kind_name(AuditKind k) {
+  switch (k) {
+    case AuditKind::kFreeWork: return "free-work";
+    case AuditKind::kDoubleCharge: return "double-charge";
+    case AuditKind::kNonMonotone: return "non-monotone";
+    case AuditKind::kCausalityInversion: return "causality-inversion";
+    case AuditKind::kDanglingWait: return "dangling-wait";
+    case AuditKind::kOrphanThrow: return "orphan-throw";
+    case AuditKind::kHotGetenv: return "hot-getenv";
+    case AuditKind::kLint: return "lint";
+  }
+  return "?";
+}
+
+std::string AuditFinding::str() const {
+  std::ostringstream os;
+  os << "[" << audit_kind_name(kind) << "] " << plane << ": " << subject
+     << " — " << detail;
+  return os.str();
+}
+
+ChargeGraph::StreamId ChargeGraph::stream(const std::string& name) {
+  stream_names_.push_back(name);
+  stream_last_.push_back(-1);
+  return static_cast<StreamId>(stream_names_.size()) - 1;
+}
+
+int ChargeGraph::add_node(StreamId s, Node n) {
+  n.stream = s;
+  const int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  // Program order within a stream: each node depends on the stream's
+  // previous node, exactly like enqueues on one CUDA stream.
+  if (stream_last_[s] >= 0) edges_.emplace_back(stream_last_[s], idx);
+  stream_last_[s] = idx;
+  return idx;
+}
+
+void ChargeGraph::declare_work(const std::string& work,
+                               const std::string& what) {
+  if (!work_.count(work)) work_order_.push_back(work);
+  work_[work].what = what;
+}
+
+void ChargeGraph::charge(StreamId s, const std::string& work, bool nonneg) {
+  Node n;
+  n.tag = work;
+  n.nonneg = nonneg;
+  const int idx = add_node(s, std::move(n));
+  // Charging undeclared work is a model bug, not a plane bug: declare it
+  // implicitly so audit() reports parity over what actually ran.
+  declare_work(work, work_.count(work) ? work_[work].what : work);
+  work_[work].charges.push_back(idx);
+}
+
+void ChargeGraph::overhead(StreamId s, const std::string& tag, bool nonneg) {
+  Node n;
+  n.tag = tag;
+  n.nonneg = nonneg;
+  add_node(s, std::move(n));
+}
+
+void ChargeGraph::record(StreamId s, const std::string& label) {
+  Label& l = labels_[label];
+  l.node = stream_last_[s];
+  l.recorded_at = static_cast<int>(nodes_.size());
+  // Re-recording a label is fine (the concrete code overwrites the
+  // completion double each iteration); waits always see the latest.
+  (void)s;
+}
+
+void ChargeGraph::wait(StreamId s, const std::string& label) {
+  Node n;
+  n.tag = "wait:" + label;
+  n.is_wait = true;
+  n.wait_label = label;
+  auto it = labels_.find(label);
+  if (it == labels_.end()) {
+    // Waiting on a label never (yet) recorded. If it gets recorded later
+    // in program order that is a causality inversion (the concrete code
+    // read the completion value before it was written); if never, it is
+    // a dangling wait. Decide at audit() time via recorded_at.
+    const int idx = add_node(s, std::move(n));
+    pending_waits_.push_back(idx);
+    return;
+  }
+  const int waits_on = it->second.node;
+  n.waits_on = waits_on;
+  const int idx = add_node(s, std::move(n));
+  if (waits_on >= 0) edges_.emplace_back(waits_on, idx);
+}
+
+std::vector<AuditFinding> ChargeGraph::audit(const std::string& plane) const {
+  std::vector<AuditFinding> out = build_findings_;
+  for (AuditFinding& f : out) f.plane = plane;
+
+  // Charge parity: exactly one charge per declared work unit.
+  for (const std::string& w : work_order_) {
+    const Work& work = work_.at(w);
+    if (work.charges.empty()) {
+      out.push_back({AuditKind::kFreeWork, plane, w,
+                     "metered work '" + work.what +
+                         "' is never charged to any timeline"});
+    } else if (work.charges.size() > 1) {
+      std::string where;
+      for (int c : work.charges) {
+        if (!where.empty()) where += ", ";
+        where += stream_names_[nodes_[c].stream];
+      }
+      out.push_back({AuditKind::kDoubleCharge, plane, w,
+                     "metered work '" + work.what + "' charged " +
+                         std::to_string(work.charges.size()) +
+                         " times (streams: " + where + ")"});
+    }
+  }
+
+  // Monotonicity: every charge provably non-negative.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!n.is_wait && !n.nonneg)
+      out.push_back({AuditKind::kNonMonotone, plane, n.tag,
+                     "charge on stream '" + stream_names_[n.stream] +
+                         "' has no non-negativity proof; the stream cursor "
+                         "could move backwards"});
+  }
+
+  // Waits whose label was not recorded at wait time: inversion if it was
+  // recorded later in program order, dangling if never.
+  for (int idx : pending_waits_) {
+    const Node& n = nodes_[idx];
+    auto it = labels_.find(n.wait_label);
+    if (it != labels_.end() && it->second.recorded_at > idx) {
+      out.push_back(
+          {AuditKind::kCausalityInversion, plane, n.wait_label,
+           "stream '" + stream_names_[n.stream] +
+               "' waits on event '" + n.wait_label +
+               "' before it is recorded — the concrete code would read a "
+               "stale completion value and erase the fence"});
+    } else {
+      out.push_back({AuditKind::kDanglingWait, plane, n.wait_label,
+                     "stream '" + stream_names_[n.stream] +
+                         "' waits on event '" + n.wait_label +
+                         "' that is never recorded"});
+    }
+  }
+
+  // DAG check over program-order + join edges. Construction only adds
+  // edges old->new for resolved waits, so a cycle can only arise from a
+  // model wiring error — but the audit proves it rather than assuming it.
+  {
+    std::vector<int> indeg(nodes_.size(), 0);
+    std::vector<std::vector<int>> adj(nodes_.size());
+    for (auto [a, b] : edges_) {
+      adj[a].push_back(b);
+      ++indeg[b];
+    }
+    std::vector<int> q;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      if (indeg[i] == 0) q.push_back(static_cast<int>(i));
+    std::size_t seen = 0;
+    while (!q.empty()) {
+      int v = q.back();
+      q.pop_back();
+      ++seen;
+      for (int w : adj[v])
+        if (--indeg[w] == 0) q.push_back(w);
+    }
+    if (seen != nodes_.size())
+      out.push_back({AuditKind::kCausalityInversion, plane, "event-graph",
+                     "join edges form a cycle: " +
+                         std::to_string(nodes_.size() - seen) +
+                         " node(s) unreachable by topological order"});
+  }
+
+  return out;
+}
+
+}  // namespace acsr::analysis

@@ -17,6 +17,7 @@
 
 #include "common/check.hpp"
 #include "core/acsr_engine.hpp"
+#include "core/engine_registry.hpp"
 #include "core/ooc_engine.hpp"
 #include "spmv/bccoo_engine.hpp"
 #include "spmv/bcsr_engine.hpp"
@@ -554,23 +555,23 @@ const EngineModel kEngines[] = {
 };
 
 const EngineModel* find_engine(const std::string& name) {
-  // The factory's "csr-cusparse" alias dispatches to the same engine as
-  // "csr" (the cuSPARSE-role CsrVectorEngine), hence the same model.
-  const std::string& n = name == "csr-cusparse" ? "csr" : name;
+  // Canonicalise through the factory registry so aliases ("csr-cusparse")
+  // dispatch to the same model as their canonical engine.
+  const char* canon = core::canonical_engine_name(name);
+  if (canon == nullptr) return nullptr;
   for (const EngineModel& m : kEngines)
-    if (n == m.name) return &m;
+    if (canon == std::string(m.name)) return &m;
   return nullptr;
 }
 
 }  // namespace
 
 const std::vector<std::string>& all_engine_names() {
-  static const std::vector<std::string> names = [] {
-    std::vector<std::string> v;
-    for (const EngineModel& m : kEngines) v.emplace_back(m.name);
-    return v;
-  }();
-  return names;
+  // Derived from the factory registry — NOT from the local model table —
+  // so a factory engine without a verifier model makes every sweep
+  // (acsr_verify --all, the proof-matrix tests) fail loudly instead of
+  // silently dropping out of the matrix.
+  return core::factory_engine_names();
 }
 
 bool knows_engine(const std::string& name) {

@@ -7,6 +7,7 @@
 
 #include "analysis/verify.hpp"
 #include "core/acsr_engine.hpp"
+#include "core/engine_registry.hpp"
 #include "core/memo_engine.hpp"
 #include "core/ooc_engine.hpp"
 #include "spmv/bccoo_engine.hpp"
@@ -46,46 +47,55 @@ std::unique_ptr<spmv::SpmvEngine<T>> make_engine(const std::string& name,
                                                  vgpu::Device& dev,
                                                  const mat::Csr<T>& a,
                                                  EngineConfig cfg = {}) {
+  // The registry (engine_registry.hpp) is the single source of truth for
+  // factory names: unknown names are rejected here, aliases collapse to
+  // their canonical spelling, and the verifier/audit proof matrices
+  // enumerate the same table — an engine cannot exist for dispatch but be
+  // skipped by the proofs.
+  const char* canon_p = canonical_engine_name(name);
+  ACSR_REQUIRE(canon_p != nullptr, "unknown SpMV engine '" << name << "'");
+  const std::string canon = canon_p;
   // Opt-in pre-launch gate (ACSR_VERIFY=1): statically prove the engine's
   // kernels safe for its whole shape class on this device before building
   // it. Costs one cached-bool branch when the variable is unset.
   if (analysis::verify_enabled()) [[unlikely]]
-    analysis::verify_engine_or_throw(name, dev.spec());
+    analysis::verify_engine_or_throw(canon, dev.spec());
   auto build = [&]() -> std::unique_ptr<spmv::SpmvEngine<T>> {
-    if (name == "csr-scalar")
+    if (canon == "csr-scalar")
       return std::make_unique<spmv::CsrScalarEngine<T>>(dev, a);
-    if (name == "csr-vector")
+    if (canon == "csr-vector")
       return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a);
     // The paper's "CSR" series: cuSPARSE-era csrmv with a fixed warp (32
     // lanes) per row, which refetches sectors shared by adjacent short rows
     // from different warps — the real penalty on power-law matrices.
-    if (name == "csr" || name == "csr-cusparse")
+    if (canon == "csr")
       return std::make_unique<spmv::CsrVectorEngine<T>>(dev, a, 32);
-    if (name == "ell") return std::make_unique<spmv::EllEngine<T>>(dev, a);
-    if (name == "coo") return std::make_unique<spmv::CooEngine<T>>(dev, a);
-    if (name == "hyb")
+    if (canon == "ell") return std::make_unique<spmv::EllEngine<T>>(dev, a);
+    if (canon == "coo") return std::make_unique<spmv::CooEngine<T>>(dev, a);
+    if (canon == "hyb")
       return std::make_unique<spmv::HybEngine<T>>(dev, a, cfg.hyb_breakeven);
-    if (name == "brc") return std::make_unique<spmv::BrcEngine<T>>(dev, a);
-    if (name == "bccoo")
+    if (canon == "brc") return std::make_unique<spmv::BrcEngine<T>>(dev, a);
+    if (canon == "bccoo")
       return std::make_unique<spmv::BccooEngine<T>>(dev, a);
-    if (name == "tcoo") return std::make_unique<spmv::TcooEngine<T>>(dev, a);
-    if (name == "sic") return std::make_unique<spmv::SicEngine<T>>(dev, a);
-    if (name == "merge-csr")
+    if (canon == "tcoo") return std::make_unique<spmv::TcooEngine<T>>(dev, a);
+    if (canon == "sic") return std::make_unique<spmv::SicEngine<T>>(dev, a);
+    if (canon == "merge-csr")
       return std::make_unique<spmv::MergeCsrEngine<T>>(dev, a);
-    if (name == "sell")
+    if (canon == "sell")
       return std::make_unique<spmv::SellEngine<T>>(dev, a, cfg.sell_sigma);
-    if (name == "bcsr")
+    if (canon == "bcsr")
       return std::make_unique<spmv::BcsrEngine<T>>(dev, a, cfg.bcsr_block);
-    if (name == "acsr")
+    if (canon == "acsr")
       return std::make_unique<AcsrEngine<T>>(dev, a, cfg.acsr);
-    if (name == "acsr-binning") {
+    if (canon == "acsr-binning") {
       AcsrOptions o = cfg.acsr;
       o.binning.enable_dp = false;
       return std::make_unique<AcsrEngine<T>>(dev, a, o);
     }
-    if (name == "ooc-csr")
+    if (canon == "ooc-csr")
       return std::make_unique<OocCsrEngine<T>>(dev, a, cfg.ooc);
-    ACSR_REQUIRE(false, "unknown SpMV engine '" << name << "'");
+    ACSR_REQUIRE(false, "engine '" << canon
+                                   << "' is registered but has no builder");
   };
   auto engine = build();
   // Memo plane (ACSR_MEMO=1): wrap the engine so repeated simulate() calls

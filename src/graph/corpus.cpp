@@ -52,7 +52,9 @@ const CorpusEntry& corpus_entry(const std::string& abbrev) {
 }
 
 long long default_scale() {
-  const long long s = env_int("ACSR_SCALE", 64);
+  // Read once per process (the cached-gate pattern acsr_audit enforces):
+  // the scale is fixed for a bench/tool run, never toggled mid-process.
+  static const long long s = env_int("ACSR_SCALE", 64);
   ACSR_REQUIRE(s >= 1, "ACSR_SCALE must be >= 1");
   return s;
 }
