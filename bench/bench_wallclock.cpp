@@ -135,9 +135,14 @@ void BM_ServeScheduler(benchmark::State& state, int max_width) {
   auto engine = make_engine<double>("acsr", dev, a, engine_config());
   double makespan = 0.0;
   std::uint64_t requests = 0;
+  acsr::prof::SloAgg slo{};
   for (auto _ : state) {
     acsr::serve::ServeOptions opt;
     opt.max_batch_width = max_width;
+    // observe_slo feeds the deterministic latency/queue-wait histograms
+    // without span recording — tail percentiles for free alongside the
+    // wall-clock numbers (docs/SLO.md).
+    opt.observe_slo = true;
     acsr::serve::BatchScheduler<double> sched(*engine, opt);
     acsr::apps::run_tenant_scenario(sched, a.cols);
     // No DoNotOptimize here: run_tenant_scenario drives the device through
@@ -146,11 +151,18 @@ void BM_ServeScheduler(benchmark::State& state, int max_width) {
     // the post-loop counter read.
     makespan = sched.clock_s();
     requests = sched.served_requests();
+    slo = sched.slo().snapshot("*");
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(requests));
   state.counters["max_width"] = max_width;
   state.counters["sim_makespan_ms"] = makespan * 1e3;
+  // Simulated-clock tail latency: deterministic per width, so drift in
+  // BENCH_wallclock.json is a scheduling change, not noise.
+  state.counters["sim_lat_p50_ms"] = slo.latency_p50_s * 1e3;
+  state.counters["sim_lat_p95_ms"] = slo.latency_p95_s * 1e3;
+  state.counters["sim_lat_p99_ms"] = slo.latency_p99_s * 1e3;
+  state.counters["sim_wait_p95_ms"] = slo.queue_wait_p95_s * 1e3;
 }
 
 /// Out-of-core streaming executor (docs/OOC.md): one full streamed SpMV

@@ -181,6 +181,43 @@ if ! "$build/tools/acsr_prof" --quiet --diff PROF_baseline.json; then
        "$build/tools/acsr_prof --out PROF_baseline.json)"
 fi
 
+echo "== slo smoke (acsr_slo trace + --check vs slo.json)"
+slo_trace="$(mktemp --suffix=.json)"
+trap 'rm -f "$prof_trace" "$slo_trace"' EXIT
+# A faulted multi-tenant run crosses serve -> engine -> storage: the
+# trace must carry slo:* tracks (request spans) alongside the profiler's
+# own, and the span export must stay schema-valid under ACSR_FAULTS.
+ACSR_FAULTS="io_transient@read#2*2" ACSR_TRACE="$slo_trace" \
+  "$build/tools/acsr_slo" --quiet --engine ooc-csr --tenants 4 \
+  --trace "$slo_trace"
+python3 - "$slo_trace" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+slo_tracks = set()
+for ev in events:
+    assert {"name", "ph", "pid", "tid"} <= ev.keys(), ev
+    # Host span tracks are named by thread_name metadata; the slo plane's
+    # mirrored spans live on "slo:*" tracks (docs/SLO.md).
+    if ev["ph"] == "M" and ev["name"] == "thread_name":
+        track = ev.get("args", {}).get("name", "")
+        if track.startswith("slo:"):
+            slo_tracks.add(track)
+assert any(t.startswith("slo:req:") for t in slo_tracks), slo_tracks
+assert "slo:serve" in slo_tracks, slo_tracks
+print(f"   slo trace ok: {len(events)} events, {len(slo_tracks)} slo tracks")
+PY
+# The committed slo.json is the SLO gate: a breach exits 4. Warn-only
+# locally, fatal under ACSR_CI=1 (the acsr_audit discipline).
+if ! "$build/tools/acsr_slo" --quiet --check slo.json; then
+  if [ "${ACSR_CI:-0}" = "1" ]; then
+    echo "check.sh: acsr_slo found SLO breaches (fatal under ACSR_CI=1)"
+    exit 1
+  fi
+  echo "check.sh: WARNING: acsr_slo found SLO breaches (fatal under ACSR_CI=1)"
+fi
+
 echo "== wall-clock bench smoke (bench_wallclock --quick)"
 ACSR_BENCH_QUICK=1 scripts/bench.sh "$build"
 

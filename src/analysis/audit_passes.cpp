@@ -430,7 +430,8 @@ std::vector<AuditFinding> audit_lint(const SourceSet& set) {
       const char* macro;
       const char* prefix;
     } mirrors[] = {{"TenantAgg", "ACSR_TENANT_METRIC", "tenant"},
-                   {"IoAgg", "ACSR_IO_METRIC", "io"}};
+                   {"IoAgg", "ACSR_IO_METRIC", "io"},
+                   {"SloAgg", "ACSR_SLO_METRIC", "slo"}};
     for (const auto& m : mirrors) {
       const std::vector<std::string> fields = struct_fields(*metrics_hpp,
                                                             m.agg);

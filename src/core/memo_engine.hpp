@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "slo/trace.hpp"
 #include "spmv/engine.hpp"
 #include "vgpu/memo.hpp"
 
@@ -41,6 +42,7 @@ class MemoEngine final : public spmv::SpmvEngine<T> {
   }
 
   double simulate(const std::vector<T>& x, std::vector<T>& y) override {
+    annotate_span("spmv");
     return memo_.run(inner_->device(), "spmv",
                      [&] { return inner_->simulate(x, y); });
   }
@@ -61,6 +63,7 @@ class MemoEngine final : public spmv::SpmvEngine<T> {
     if (x_block.width == 0) return inner_->simulate_batch(x_block, y_block);
     const std::string subkey =
         x_block.width == 1 ? "spmv" : "spmm/k" + std::to_string(x_block.width);
+    annotate_span(subkey);
     return memo_.run(inner_->device(), subkey,
                      [&] { return inner_->simulate_batch(x_block, y_block); });
   }
@@ -73,6 +76,20 @@ class MemoEngine final : public spmv::SpmvEngine<T> {
   const vgpu::memo::Memoizer& memoizer() const { return memo_; }
 
  private:
+  /// Tracing hook: mark the enclosing execution span capture vs replay.
+  /// Annotate-ONLY — the memo plane must never create spans, or span
+  /// trees (and their histograms) would differ between ACSR_MEMO=0/1
+  /// (tests/test_slo.cpp pins that determinism).
+  void annotate_span(const std::string& subkey) const {
+    if (slo::slo_enabled()) [[unlikely]] {
+      if (!vgpu::memo::memo_enabled()) return;
+      const bool hit = vgpu::memo::MemoCache::instance().find(
+                           memo_.tag() + subkey) != nullptr;
+      slo::Tracer::instance().annotate_open("memo",
+                                            hit ? "replay" : "capture");
+    }
+  }
+
   static std::string identity(const spmv::SpmvEngine<T>& e) {
     return std::to_string(e.rows()) + "x" + std::to_string(e.cols()) + "/" +
            std::to_string(e.nnz()) + "/w" + std::to_string(sizeof(T));

@@ -42,6 +42,7 @@
 
 #include "core/factory.hpp"
 #include "prof/prof.hpp"
+#include "slo/trace.hpp"
 #include "vgpu/fault.hpp"
 #include "vgpu/timeline.hpp"
 
@@ -143,6 +144,9 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
     return opt_.fallback_chain[chain_pos_];
   }
   vgpu::Device& active_device() const { return *devices_[device_pos_]; }
+  /// The engine instance currently serving (the active chain rung). The
+  /// reference is invalidated by any recovery rebuild — read, don't keep.
+  spmv::SpmvEngine<T>& active_engine() { return *inner_; }
   int retries() const { return retries_; }
   int scrubs() const { return scrubs_; }
   int fallbacks() const { return fallbacks_; }
@@ -195,6 +199,13 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
                           "recovery:retry backoff " + where_of(e));
         if (prof::profiler_enabled()) [[unlikely]]
           prof::Profiler::instance().add_retry_backoff(backoff, where_of(e));
+        // The recovery timeline has no absolute clock, so the span plane
+        // charges the backoff duration onto the open execution span's
+        // cursor (docs/SLO.md) — same seconds, trace-time placement.
+        if (slo::slo_enabled()) [[unlikely]]
+          slo::Tracer::instance().charge(
+              slo::SpanKind::kRetryBackoff,
+              "recovery:retry backoff " + where_of(e), "recovery", backoff);
         ++retries_;
         backoff *= opt_.retry.backoff_growth;
       } catch (const vgpu::DataCorruption& e) {
@@ -322,6 +333,10 @@ class ResilientEngine final : public spmv::SpmvEngine<T> {
         timeline_.enqueue(stream_, backoff, "recovery:retry backoff (build)");
         if (prof::profiler_enabled()) [[unlikely]]
           prof::Profiler::instance().add_retry_backoff(backoff, "(build)");
+        if (slo::slo_enabled()) [[unlikely]]
+          slo::Tracer::instance().charge(slo::SpanKind::kRetryBackoff,
+                                         "recovery:retry backoff (build)",
+                                         "recovery", backoff);
         ++retries_;
         backoff *= opt_.retry.backoff_growth;
       } catch (const vgpu::DataCorruption& e) {

@@ -215,6 +215,47 @@ std::vector<IoMetricDef> build_io_registry() {
 
 #undef ACSR_IO_METRIC
 
+// One passthrough metric per SloAgg field (lint rule 4 in acsr_audit
+// parses the struct and greps this file, exactly as for the other
+// aggregates).
+#define ACSR_SLO_METRIC(field, unit, what)                            \
+  SloMetricDef {                                                      \
+    "slo." #field, unit, "SloAgg::" #field " (" what ")",             \
+        [](const SloAgg& a) { return static_cast<double>(a.field); }  \
+  }
+
+std::vector<SloMetricDef> build_slo_registry() {
+  return {
+      ACSR_SLO_METRIC(requests, "count", "requests observed"),
+      ACSR_SLO_METRIC(violations, "count",
+                      "requests over the latency target"),
+      ACSR_SLO_METRIC(breaches, "count",
+                      "edge-triggered burn-threshold crossings"),
+      ACSR_SLO_METRIC(burn_rate, "ratio",
+                      "window violation fraction / error budget"),
+      ACSR_SLO_METRIC(latency_p50_s, "s",
+                      "deterministic p50 of admission..completion"),
+      ACSR_SLO_METRIC(latency_p95_s, "s",
+                      "deterministic p95 of admission..completion"),
+      ACSR_SLO_METRIC(latency_p99_s, "s",
+                      "deterministic p99 of admission..completion"),
+      ACSR_SLO_METRIC(latency_max_s, "s", "exact maximum latency observed"),
+      ACSR_SLO_METRIC(queue_wait_p50_s, "s",
+                      "deterministic p50 of admission..launch"),
+      ACSR_SLO_METRIC(queue_wait_p95_s, "s",
+                      "deterministic p95 of admission..launch"),
+      ACSR_SLO_METRIC(queue_wait_max_s, "s",
+                      "exact maximum queue wait observed"),
+      {"slo.violation_rate", "ratio", "violations / requests",
+       [](const SloAgg& a) {
+         return safe_div(static_cast<double>(a.violations),
+                         static_cast<double>(a.requests));
+       }},
+  };
+}
+
+#undef ACSR_SLO_METRIC
+
 }  // namespace
 
 const std::vector<MetricDef>& metric_registry() {
@@ -251,6 +292,17 @@ const std::vector<IoMetricDef>& io_metric_registry() {
 
 const IoMetricDef* find_io_metric(const std::string& name) {
   for (const IoMetricDef& m : io_metric_registry())
+    if (name == m.name) return &m;
+  return nullptr;
+}
+
+const std::vector<SloMetricDef>& slo_metric_registry() {
+  static const std::vector<SloMetricDef> r = build_slo_registry();
+  return r;
+}
+
+const SloMetricDef* find_slo_metric(const std::string& name) {
+  for (const SloMetricDef& m : slo_metric_registry())
     if (name == m.name) return &m;
   return nullptr;
 }

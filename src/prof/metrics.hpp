@@ -189,4 +189,44 @@ const std::vector<IoMetricDef>& io_metric_registry();
 /// nullptr when unknown.
 const IoMetricDef* find_io_metric(const std::string& name);
 
+// --- per-tenant SLO aggregates ----------------------------------------------
+
+/// Deterministic SLO summary of one tenant (or the "*" all-tenants view),
+/// filled by slo::SloMonitor::snapshot from its fixed-bucket histograms
+/// and sliding-window burn evaluation (docs/SLO.md). Same completeness
+/// contract as vgpu::Counters / TenantAgg / IoAgg: lint rule 4 (acsr_audit)
+/// parses the fields of this struct and requires a passthrough metric per
+/// field in metrics.cpp, so a new SLO column cannot ship unobservable.
+struct SloAgg {
+  std::uint64_t requests = 0;    ///< requests observed
+  std::uint64_t violations = 0;  ///< requests over the latency target
+  std::uint64_t breaches = 0;    ///< edge-triggered burn-threshold crossings
+  double burn_rate = 0.0;        ///< window violation fraction / error budget
+  double latency_p50_s = 0.0;    ///< admission..completion percentiles
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;    ///< exact maximum observed
+  double queue_wait_p50_s = 0.0; ///< admission..launch percentiles
+  double queue_wait_p95_s = 0.0;
+  double queue_wait_max_s = 0.0;
+};
+
+/// A named, documented SLO metric over one tenant's aggregate (the
+/// slo-plane mirror of TenantMetricDef; acsr_slo --tenants prints one
+/// column per entry). All slo metrics are model quantities over
+/// fixed-bucket histograms, hence deterministic.
+struct SloMetricDef {
+  const char* name;
+  const char* unit;
+  const char* formula;
+  double (*compute)(const SloAgg&);
+};
+
+/// Every registered slo metric: field passthroughs plus the derived
+/// violation_rate.
+const std::vector<SloMetricDef>& slo_metric_registry();
+
+/// nullptr when unknown.
+const SloMetricDef* find_slo_metric(const std::string& name);
+
 }  // namespace acsr::prof

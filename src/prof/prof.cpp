@@ -120,6 +120,12 @@ void Profiler::phase(const std::string& track, std::string name,
   spans_.push_back({track, std::move(name), start, clock_s_});
 }
 
+void Profiler::add_completed_span(std::string track, std::string name,
+                                  double start_s, double end_s) {
+  ACSR_CHECK(end_s >= start_s);
+  spans_.push_back({std::move(track), std::move(name), start_s, end_s});
+}
+
 void Profiler::instant(std::string name) {
   instants_.push_back({std::move(name), clock_s_});
 }

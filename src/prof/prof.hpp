@@ -129,6 +129,13 @@ class Profiler {
 
   void instant(std::string name);
 
+  /// Record an already-completed span at absolute simulated times without
+  /// touching the profiler clock — how the slo tracer (src/slo/) mirrors
+  /// request/batch/io spans onto the Chrome trace eagerly at span close
+  /// (the exit-time writer then needs no cross-singleton handshake).
+  void add_completed_span(std::string track, std::string name,
+                          double start_s, double end_s);
+
   /// Recovery backoff charged by ResilientEngine: advances the clock,
   /// records a span on the "recovery" track, and accumulates the total
   /// that test_faults.cpp reconciles against the engine's StreamTimeline.

@@ -14,6 +14,7 @@
 // bit-deterministic, like everything else in the repo.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -22,15 +23,32 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "slo/trace.hpp"
 
 namespace acsr::serve {
 
 /// Admission-control rejection: the bounded queue is full and the request
 /// was shed. A client distinguishes this (back off and retry) from
-/// InvariantError (a bug) by type.
+/// InvariantError (a bug) by type, and reads the shed-time queue state —
+/// depth and the oldest pending deadline — to choose a backoff without a
+/// second round trip (an infinite oldest deadline means the backlog is
+/// bulk traffic; a near one means the queue is drowning in urgent work).
 class OverloadError : public acsr::InputError {
  public:
-  using acsr::InputError::InputError;
+  OverloadError(const std::string& what, std::size_t queue_depth,
+                double oldest_deadline_s)
+      : acsr::InputError(what),
+        queue_depth_(queue_depth),
+        oldest_deadline_s_(oldest_deadline_s) {}
+
+  /// Pending requests at the moment this submit was shed.
+  std::size_t queue_depth() const { return queue_depth_; }
+  /// Earliest deadline among them (+inf when none carries one).
+  double oldest_deadline_s() const { return oldest_deadline_s_; }
+
+ private:
+  std::size_t queue_depth_;
+  double oldest_deadline_s_;
 };
 
 /// One tenant query: y = A x for the scheduler's resident engine.
@@ -44,6 +62,10 @@ struct Request {
   double deadline_s = std::numeric_limits<double>::infinity();
   std::uint64_t id = 0;            ///< assigned by the queue, unique
   double enqueue_clock_s = 0.0;    ///< simulated admission time
+
+  /// The tracing identity this request carries through the scheduler into
+  /// its span tree (docs/SLO.md) — the serve plane's TraceContext.
+  slo::TraceContext trace() const { return {id, tenant, enqueue_clock_s}; }
 };
 
 /// Bounded FIFO with priority extraction. push() sheds on overload;
@@ -62,13 +84,18 @@ class RequestQueue {
   bool empty() const { return q_.empty(); }
 
   /// Admit one request, stamping id and admission time. Throws
-  /// OverloadError when the queue is at capacity (shed-on-overload).
+  /// OverloadError — carrying the queue depth and the oldest pending
+  /// deadline — when the queue is at capacity (shed-on-overload).
   std::uint64_t push(Request<T> r, double clock_s) {
-    if (q_.size() >= capacity_)
+    if (q_.size() >= capacity_) {
+      double oldest = std::numeric_limits<double>::infinity();
+      for (const Request<T>& p : q_) oldest = std::min(oldest, p.deadline_s);
       throw OverloadError("request queue full (" +
-                          std::to_string(capacity_) +
-                          " pending): request from tenant '" + r.tenant +
-                          "' shed");
+                              std::to_string(capacity_) +
+                              " pending): request from tenant '" + r.tenant +
+                              "' shed",
+                          q_.size(), oldest);
+    }
     r.id = next_id_++;
     r.enqueue_clock_s = clock_s;
     q_.push_back(std::move(r));
@@ -76,7 +103,12 @@ class RequestQueue {
   }
 
   /// Extract the best request: max priority, then min deadline, then min
-  /// id (admission order). Precondition: !empty().
+  /// id. The id tie-break is CONTRACTUAL FIFO: ids are assigned by push()
+  /// in strictly increasing admission order, so two requests equal on
+  /// priority and deadline dequeue in the order they were admitted — the
+  /// fairness property tenants observe and tests/test_slo.cpp pins
+  /// (without it, equal-priority batching order would depend on deque
+  /// layout). Precondition: !empty().
   Request<T> pop_best() {
     ACSR_CHECK(!q_.empty());
     std::size_t best = 0;
@@ -87,7 +119,7 @@ class RequestQueue {
         if (a.priority > b.priority) best = i;
       } else if (a.deadline_s != b.deadline_s) {
         if (a.deadline_s < b.deadline_s) best = i;
-      } else if (a.id < b.id) {
+      } else if (a.id < b.id) {  // FIFO by admission id
         best = i;
       }
     }

@@ -25,6 +25,8 @@
 #include "mat/dense_block.hpp"
 #include "prof/metrics.hpp"
 #include "serve/request.hpp"
+#include "slo/slo.hpp"
+#include "slo/trace.hpp"
 #include "spmv/engine.hpp"
 
 namespace acsr::serve {
@@ -36,6 +38,12 @@ struct ServeOptions {
   /// Admission bound: pending requests beyond this are shed with a typed
   /// OverloadError at submit().
   std::size_t queue_capacity = 256;
+  /// Feed the SLO monitor (latency/queue-wait histograms, burn-rate
+  /// evaluation) even when the slo plane's env gate is off — how
+  /// bench_wallclock collects tail-latency percentiles without paying
+  /// for span recording. The env gate (ACSR_SLO / ACSR_TRACE) enables
+  /// both the monitor and span tracing.
+  bool observe_slo = false;
 };
 
 template <class T>
@@ -86,7 +94,22 @@ class BatchScheduler {
     for (int c = 0; c < width; ++c)
       x_block.set_column(c, batch[static_cast<std::size_t>(c)].x);
     mat::DenseBlock<T> y_block;
+
+    // The batch span is the execution root: every engine/storage span the
+    // planes below record during simulate_batch nests under it, so one
+    // request's tree crosses serve -> engine -> storage while the batch's
+    // device work appears exactly once (not once per request).
+    const double launch_s = clock_s_;
+    const std::string batch_label =
+        "batch" + std::to_string(batches_) + "/w" + std::to_string(width);
+    const bool traced = slo::slo_enabled();
+    if (traced) [[unlikely]]
+      slo::Tracer::instance().open(slo::SpanKind::kBatch, batch_label,
+                                   "serve", launch_s);
     const double batch_s = engine_.simulate_batch(x_block, y_block);
+    if (traced) [[unlikely]]
+      slo::Tracer::instance().close(launch_s + batch_s);
+    const double end_s = launch_s + batch_s;
 
     // Wait is measured to the batch's *launch* (the current clock); the
     // batch's own duration is service time, not queueing.
@@ -100,6 +123,12 @@ class BatchScheduler {
       t.queue_wait_s += clock_s_ - r.enqueue_clock_s;
       tenants_in_batch.insert(r.tenant);
       results_[r.id] = y_block.column(c);
+      if (traced || opt_.observe_slo) [[unlikely]]
+        slo_.observe(r.tenant, r.id, launch_s - r.enqueue_clock_s,
+                     end_s - r.enqueue_clock_s, end_s);
+      if (traced) [[unlikely]]
+        slo::Tracer::instance().record_request(r.trace(), launch_s, end_s,
+                                               batch_label);
     }
     for (const std::string& name : tenants_in_batch)
       tenants_[name].batches += 1;
@@ -142,6 +171,11 @@ class BatchScheduler {
   const std::map<std::string, prof::TenantAgg>& tenants() const {
     return tenants_;
   }
+  /// Per-tenant SLO evaluation (histograms, burn rate, breaches). Fed
+  /// while the slo plane is enabled (or observe_slo is set); install
+  /// objectives and a breach sink before serving (docs/SLO.md).
+  slo::SloMonitor& slo() { return slo_; }
+  const slo::SloMonitor& slo() const { return slo_; }
 
  private:
   spmv::SpmvEngine<T>& engine_;
@@ -153,6 +187,7 @@ class BatchScheduler {
   std::uint64_t width_sum_ = 0;
   std::map<std::string, prof::TenantAgg> tenants_;
   std::map<std::uint64_t, std::vector<T>> results_;
+  slo::SloMonitor slo_;
 };
 
 }  // namespace acsr::serve

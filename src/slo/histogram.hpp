@@ -1,0 +1,116 @@
+// Streaming fixed-bucket log-linear latency histogram (docs/SLO.md).
+//
+// The SLO plane needs percentiles that are (a) computable online over an
+// unbounded request stream in O(1) memory, and (b) bit-deterministic —
+// the same request stream must yield the same p99 on every run and under
+// every executor plane (ACSR_MEMO on/off, traced/untraced), because
+// tests and the acsr_slo --check CI gate pin them. Both rule out
+// sample-reservoir estimators; a fixed bucket layout gives exact
+// reproducibility at bounded resolution.
+//
+// Layout: 9 decades, 1e-7 s .. 1e2 s, each divided into 9 linear
+// sub-buckets ([1,2) .. [9,10) of the decade's base), plus an underflow
+// and an overflow bucket — 83 buckets total. Bucket selection is a
+// decade walk plus one integer divide of the value by the decade base:
+// no log() call, so the boundaries are exact IEEE arithmetic, identical
+// on every libm. A quantile reports its bucket's upper bound (a
+// guaranteed over-estimate within one sub-bucket, <= 1/9 relative
+// error); the true maximum is tracked exactly on the side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace acsr::slo {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kDecades = 9;        ///< 1e-7 .. 1e2 seconds
+  static constexpr int kPerDecade = 9;      ///< linear [1,2)..[9,10) splits
+  static constexpr double kFloor = 1e-7;    ///< below: underflow bucket
+  /// under + 9x9 log-linear + over.
+  static constexpr int kBuckets = kDecades * kPerDecade + 2;
+
+  /// Bucket index of a non-negative duration.
+  static int bucket_of(double v) {
+    ACSR_CHECK(v >= 0.0);
+    if (v < kFloor) return 0;
+    double base = kFloor;
+    for (int d = 0; d < kDecades; ++d) {
+      const double next = base * 10.0;
+      if (v < next) {
+        const int sub = static_cast<int>(v / base) - 1;  // 0..8
+        return 1 + d * kPerDecade + sub;
+      }
+      base = next;
+    }
+    return kBuckets - 1;  // overflow
+  }
+
+  /// Upper bound of a bucket's value range (the quantile estimate it
+  /// reports). Underflow reports the floor; overflow callers substitute
+  /// the exact tracked max.
+  static double bucket_upper(int b) {
+    ACSR_CHECK(b >= 0 && b < kBuckets);
+    if (b == 0) return kFloor;
+    if (b == kBuckets - 1) return kFloor * 1e9;  // 1e2 s, nominal
+    const int i = b - 1;
+    double base = kFloor;
+    for (int d = 0; d < i / kPerDecade; ++d) base *= 10.0;
+    return base * static_cast<double>(i % kPerDecade + 2);
+  }
+
+  void add(double v) {
+    counts_[static_cast<std::size_t>(bucket_of(v))] += 1;
+    count_ += 1;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact maximum observed (0 when empty).
+  double max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Deterministic quantile estimate, q in [0, 1]: the upper bound of the
+  /// first bucket whose cumulative count reaches ceil(q * count). q = 1
+  /// (or any q landing in the overflow bucket) reports the exact max.
+  double quantile(double q) const {
+    ACSR_CHECK(q >= 0.0 && q <= 1.0);
+    if (count_ == 0) return 0.0;
+    if (q == 1.0) return max_;  // p100 is the tracked-exact maximum
+    std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_) + 0.9999999999);
+    if (target == 0) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += counts_[static_cast<std::size_t>(b)];
+      if (cum >= target)
+        return b == kBuckets - 1 ? max_ : bucket_upper(b);
+    }
+    return max_;  // unreachable: cum == count_ after the loop
+  }
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return counts_;
+  }
+
+  bool operator==(const LatencyHistogram& o) const {
+    return counts_ == o.counts_ && count_ == o.count_ && sum_ == o.sum_ &&
+           max_ == o.max_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace acsr::slo

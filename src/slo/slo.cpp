@@ -1,0 +1,177 @@
+#include "slo/slo.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "prof/prof.hpp"
+
+namespace acsr::slo {
+
+std::string BreachEvent::describe() const {
+  return "slo:breach tenant '" + tenant + "' burn " +
+         std::to_string(burn_rate) + " at request #" +
+         std::to_string(request_id) + " (observed " +
+         std::to_string(observed_s * 1e3) + " ms, target " +
+         std::to_string(target_s * 1e3) + " ms)";
+}
+
+void SloMonitor::set_objective(SloObjective o) {
+  ACSR_REQUIRE(o.latency_target_s > 0.0, "SLO latency target must be > 0");
+  ACSR_REQUIRE(o.error_budget > 0.0 && o.error_budget <= 1.0,
+               "SLO error budget must be in (0, 1]");
+  ACSR_REQUIRE(o.window >= 1, "SLO window must be >= 1 request");
+  ACSR_REQUIRE(o.burn_threshold > 0.0, "SLO burn threshold must be > 0");
+  if (o.tenant == "*")
+    default_objective_ = o;
+  else
+    objectives_[o.tenant] = std::move(o);
+}
+
+const SloObjective& SloMonitor::objective_for(
+    const std::string& tenant) const {
+  const auto it = objectives_.find(tenant);
+  return it == objectives_.end() ? default_objective_ : it->second;
+}
+
+void SloMonitor::update(TenantState& s, const SloObjective& o,
+                        const std::string& tenant,
+                        std::uint64_t request_id, double queue_wait_s,
+                        double latency_s, double now_s) {
+  s.requests += 1;
+  s.latency.add(latency_s);
+  s.queue_wait.add(queue_wait_s);
+
+  const bool violated = latency_s > o.latency_target_s;
+  if (violated) s.violations += 1;
+  s.window.push_back(violated);
+  if (violated) s.window_violations += 1;
+  while (s.window.size() > o.window) {
+    if (s.window.front()) s.window_violations -= 1;
+    s.window.pop_front();
+  }
+  const double fraction = static_cast<double>(s.window_violations) /
+                          static_cast<double>(s.window.size());
+  s.burn_rate = fraction / o.error_budget;
+
+  if (s.burn_rate >= o.burn_threshold) {
+    if (!s.in_breach) {
+      s.in_breach = true;
+      s.breaches += 1;
+      BreachEvent ev;
+      ev.tenant = tenant;
+      ev.request_id = request_id;
+      ev.at_s = now_s;
+      ev.burn_rate = s.burn_rate;
+      ev.target_s = o.latency_target_s;
+      ev.observed_s = latency_s;
+      if (prof::profiler_enabled()) [[unlikely]]
+        prof::Profiler::instance().instant(ev.describe());
+      breaches_.push_back(ev);
+      if (on_breach) on_breach(breaches_.back());
+    }
+  } else {
+    s.in_breach = false;  // re-arm once the burn drops below threshold
+  }
+}
+
+void SloMonitor::observe(const std::string& tenant,
+                         std::uint64_t request_id, double queue_wait_s,
+                         double latency_s, double now_s) {
+  ACSR_CHECK(queue_wait_s >= 0.0 && latency_s >= 0.0);
+  const SloObjective& o = objective_for(tenant);
+  update(tenants_[tenant], o, tenant, request_id, queue_wait_s, latency_s,
+         now_s);
+  // The "*" view aggregates histograms and counts; burn/breach stay
+  // per-tenant (aggregating violation flags across different targets
+  // would alert on nobody's objective).
+  TenantState& a = all_;
+  a.requests += 1;
+  a.latency.add(latency_s);
+  a.queue_wait.add(queue_wait_s);
+  if (latency_s > o.latency_target_s) a.violations += 1;
+}
+
+prof::SloAgg SloMonitor::to_agg(const TenantState& s) {
+  prof::SloAgg a;
+  a.requests = s.requests;
+  a.violations = s.violations;
+  a.breaches = s.breaches;
+  a.burn_rate = s.burn_rate;
+  a.latency_p50_s = s.latency.quantile(0.50);
+  a.latency_p95_s = s.latency.quantile(0.95);
+  a.latency_p99_s = s.latency.quantile(0.99);
+  a.latency_max_s = s.latency.max();
+  a.queue_wait_p50_s = s.queue_wait.quantile(0.50);
+  a.queue_wait_p95_s = s.queue_wait.quantile(0.95);
+  a.queue_wait_max_s = s.queue_wait.max();
+  return a;
+}
+
+prof::SloAgg SloMonitor::snapshot(const std::string& tenant) const {
+  if (tenant == "*") {
+    prof::SloAgg a = to_agg(all_);
+    double burn = 0.0;
+    std::uint64_t breaches = 0;
+    for (const auto& [name, st] : tenants_) {
+      burn = std::max(burn, st.burn_rate);
+      breaches += st.breaches;
+    }
+    a.burn_rate = burn;  // worst tenant: the number an operator pages on
+    a.breaches = breaches;
+    return a;
+  }
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? prof::SloAgg{} : to_agg(it->second);
+}
+
+std::vector<std::string> SloMonitor::tenant_names() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, st] : tenants_) names.push_back(name);
+  return names;
+}
+
+void SloMonitor::clear() {
+  tenants_.clear();
+  all_ = TenantState{};
+  breaches_.clear();
+}
+
+std::vector<SloObjective> parse_objectives(const std::string& json_text) {
+  json::Value doc;
+  std::string err;
+  ACSR_REQUIRE(json::parse(json_text, &doc, &err),
+               "slo objectives: JSON parse failed: " << err);
+  ACSR_REQUIRE(doc.is_object(), "slo objectives: document must be an object");
+  const json::Value* list = doc.find("objectives");
+  ACSR_REQUIRE(list != nullptr && list->is_array(),
+               "slo objectives: missing 'objectives' array");
+  std::vector<SloObjective> out;
+  for (const json::Value& v : list->as_array()) {
+    ACSR_REQUIRE(v.is_object(), "slo objectives: entries must be objects");
+    SloObjective o;
+    const auto number_field = [&v](const char* name, const json::Value* t) {
+      ACSR_REQUIRE(t->is_number(),
+                   "slo objectives: '" << name << "' must be a number");
+      return t->as_number();
+    };
+    if (const json::Value* t = v.find("tenant")) {
+      ACSR_REQUIRE(t->is_string(), "slo objectives: 'tenant' must be a string");
+      o.tenant = t->as_string();
+    }
+    if (const json::Value* t = v.find("latency_target_s"))
+      o.latency_target_s = number_field("latency_target_s", t);
+    if (const json::Value* t = v.find("error_budget"))
+      o.error_budget = number_field("error_budget", t);
+    if (const json::Value* t = v.find("window"))
+      o.window = static_cast<std::size_t>(number_field("window", t));
+    if (const json::Value* t = v.find("burn_threshold"))
+      o.burn_threshold = number_field("burn_threshold", t);
+    out.push_back(std::move(o));
+  }
+  ACSR_REQUIRE(!out.empty(), "slo objectives: empty 'objectives' array");
+  return out;
+}
+
+}  // namespace acsr::slo

@@ -1,0 +1,110 @@
+// Per-tenant SLO objectives with sliding-window burn-rate evaluation
+// (docs/SLO.md).
+//
+// An objective binds a tenant to a latency target and an error budget:
+// the fraction of requests in a sliding window allowed to miss the
+// target. The burn rate is the observed violation fraction over that
+// budget — burn 1.0 means the tenant is consuming its budget exactly as
+// fast as allowed, > 1 means the budget exhausts early (the standard SRE
+// multi-window burn alerting, collapsed to one window on the simulated
+// clock, where there is no wall-time axis to window over). Breaches are
+// edge-triggered typed events: one BreachEvent when the burn rate
+// crosses the threshold, none while it stays above, re-armed when it
+// falls back below — the same discipline as the fault plane's recovery
+// log, which acsr_slo wires breaches into.
+//
+// All evaluation is on simulated time and fixed-bucket histograms
+// (histogram.hpp), so every percentile, burn rate and breach below is
+// bit-deterministic — the property the acsr_slo --check CI gate and the
+// determinism tests lean on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prof/metrics.hpp"
+#include "slo/histogram.hpp"
+
+namespace acsr::slo {
+
+struct SloObjective {
+  std::string tenant = "*";       ///< "*" = default for unlisted tenants
+  double latency_target_s = 1.0;  ///< request admission..completion bound
+  double error_budget = 0.1;      ///< allowed violation fraction in window
+  std::size_t window = 64;        ///< sliding window length, requests
+  double burn_threshold = 1.0;    ///< breach when burn_rate >= this
+};
+
+/// Typed SLO breach: the tenant's burn rate crossed its threshold at
+/// `at_s`, observed on `request_id`.
+struct BreachEvent {
+  std::string tenant;
+  std::uint64_t request_id = 0;
+  double at_s = 0.0;
+  double burn_rate = 0.0;
+  double target_s = 0.0;
+  double observed_s = 0.0;
+  std::string describe() const;
+};
+
+class SloMonitor {
+ public:
+  /// Install or replace one tenant's objective ("*" sets the default).
+  void set_objective(SloObjective o);
+  const SloObjective& objective_for(const std::string& tenant) const;
+
+  /// Record one served request. Updates the tenant's histograms and
+  /// sliding window, evaluates the burn rate, and emits an edge-
+  /// triggered BreachEvent (breaches(), plus on_breach if set) when the
+  /// threshold is crossed.
+  void observe(const std::string& tenant, std::uint64_t request_id,
+               double queue_wait_s, double latency_s, double now_s);
+
+  /// Deterministic per-tenant summary; "*" aggregates every tenant.
+  prof::SloAgg snapshot(const std::string& tenant) const;
+  std::vector<std::string> tenant_names() const;
+  const std::vector<BreachEvent>& breaches() const { return breaches_; }
+  /// Breach sink (the recovery-log wiring: acsr_slo points this at
+  /// ResilientEngine::note_event).
+  std::function<void(const BreachEvent&)> on_breach;
+
+  void clear();
+
+ private:
+  struct TenantState {
+    LatencyHistogram latency;
+    LatencyHistogram queue_wait;
+    std::deque<bool> window;  ///< violation flags, newest at back
+    std::size_t window_violations = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t breaches = 0;
+    double burn_rate = 0.0;
+    bool in_breach = false;  ///< edge-trigger latch
+  };
+
+  static prof::SloAgg to_agg(const TenantState& s);
+  void update(TenantState& s, const SloObjective& o,
+              const std::string& tenant, std::uint64_t request_id,
+              double queue_wait_s, double latency_s, double now_s);
+
+  SloObjective default_objective_;
+  std::map<std::string, SloObjective> objectives_;
+  std::map<std::string, TenantState> tenants_;
+  TenantState all_;  ///< the "*" aggregate view
+  std::vector<BreachEvent> breaches_;
+};
+
+/// Parse an objectives document (the --check=slo.json schema):
+///   {"objectives": [{"tenant": "*", "latency_target_s": 1.0,
+///                    "error_budget": 0.1, "window": 64,
+///                    "burn_threshold": 1.0}, ...]}
+/// Missing fields keep their defaults; throws acsr::InputError on
+/// malformed JSON or types.
+std::vector<SloObjective> parse_objectives(const std::string& json_text);
+
+}  // namespace acsr::slo

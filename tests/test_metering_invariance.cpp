@@ -18,9 +18,13 @@
 //               simulate captures per-launch metering, the second replays
 //               it and re-runs the kernels value-only; the *replayed*
 //               iteration is what gets compared here
+//   traced      ACSR_SLO semantics (slo::set_slo_enabled(true)): the
+//               request-tracing plane records spans to the side —
+//               spans are a view of the timeline (docs/SLO.md), so
+//               metering must be unaffected
 //
 // and asserts that the numeric result, every Counters field, and every
-// KernelRun roofline term are BIT-identical across the five.
+// KernelRun roofline term are BIT-identical across the six.
 //
 // Each run uses a fresh Device: MemoryArena address slices are spaced
 // 2^44 bytes apart, so corresponding buffers in consecutive arenas have
@@ -40,6 +44,7 @@
 #include "graph/powerlaw.hpp"
 #include "graph/rmat.hpp"
 #include "prof/prof.hpp"
+#include "slo/trace.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/memo.hpp"
 #include "vgpu/sanitizer.hpp"
@@ -185,7 +190,8 @@ struct ModeResult {
   KernelRun run;
 };
 
-enum class Mode { kFast, kReference, kSanitized, kProfiled, kMemoized };
+enum class Mode { kFast, kReference, kSanitized, kProfiled, kMemoized,
+                  kTraced };
 
 ModeResult run_mode(const Csr<double>& a, const char* engine_name,
                     const std::vector<double>& x, Mode mode) {
@@ -203,6 +209,10 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
     acsr::vgpu::memo::MemoCache::instance().clear();
     acsr::vgpu::memo::MemoCache::instance().reset_stats();
     acsr::vgpu::memo::set_memo_enabled(true);
+  }
+  if (mode == Mode::kTraced) {
+    acsr::slo::Tracer::instance().clear();
+    acsr::slo::set_slo_enabled(true);
   }
 
   ModeResult res;
@@ -256,6 +266,10 @@ ModeResult run_mode(const Csr<double>& a, const char* engine_name,
     acsr::vgpu::memo::set_memo_enabled(false);
     acsr::vgpu::memo::MemoCache::instance().clear();
   }
+  if (mode == Mode::kTraced) {
+    acsr::slo::set_slo_enabled(false);
+    acsr::slo::Tracer::instance().clear();
+  }
   return res;
 }
 
@@ -279,10 +293,12 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
       const ModeResult san = run_mode(a, engine_name, x, Mode::kSanitized);
       const ModeResult prof = run_mode(a, engine_name, x, Mode::kProfiled);
       const ModeResult memo = run_mode(a, engine_name, x, Mode::kMemoized);
+      const ModeResult traced = run_mode(a, engine_name, x, Mode::kTraced);
       ASSERT_EQ(fast.skipped, ref.skipped);
       ASSERT_EQ(fast.skipped, san.skipped);
       ASSERT_EQ(fast.skipped, prof.skipped);
       ASSERT_EQ(fast.skipped, memo.skipped);
+      ASSERT_EQ(fast.skipped, traced.skipped);
       if (fast.skipped) continue;
 
       // Numeric result: the fast path reads the same elements in the same
@@ -291,17 +307,20 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
       ASSERT_EQ(fast.y.size(), san.y.size());
       ASSERT_EQ(fast.y.size(), prof.y.size());
       ASSERT_EQ(fast.y.size(), memo.y.size());
+      ASSERT_EQ(fast.y.size(), traced.y.size());
       for (std::size_t r = 0; r < fast.y.size(); ++r) {
         EXPECT_EQ(fast.y[r], ref.y[r]) << "y diverges at row " << r;
         EXPECT_EQ(fast.y[r], san.y[r]) << "y diverges at row " << r;
         EXPECT_EQ(fast.y[r], prof.y[r]) << "y diverges at row " << r;
         EXPECT_EQ(fast.y[r], memo.y[r]) << "y diverges at row " << r;
+        EXPECT_EQ(fast.y[r], traced.y[r]) << "y diverges at row " << r;
       }
 
       EXPECT_EQ(fast.duration, ref.duration);
       EXPECT_EQ(fast.duration, san.duration);
       EXPECT_EQ(fast.duration, prof.duration);
       EXPECT_EQ(fast.duration, memo.duration);
+      EXPECT_EQ(fast.duration, traced.duration);
       {
         SCOPED_TRACE("fast vs reference");
         const KernelRun &a_run = fast.run, &b_run = ref.run;
@@ -319,13 +338,17 @@ TEST(MeteringInvariance, FastReferenceAndSanitizedPathsAreBitIdentical) {
         SCOPED_TRACE("fast vs memoized replay");
         expect_run_identical(fast.run, memo.run);
       }
+      {
+        SCOPED_TRACE("fast vs traced");
+        expect_run_identical(fast.run, traced.run);
+      }
       ++compared;
     }
   }
   // The contract must have been exercised broadly, not vacuously skipped.
   EXPECT_GE(compared, matrices.size() * 14);
   std::cout << "[invariance] " << compared << " engine/matrix cells over "
-            << matrices.size() << " matrices, 5 modes each\n";
+            << matrices.size() << " matrices, 6 modes each\n";
 }
 
 /// The raw warp-level primitives, pinned directly: affine loads/stores at
